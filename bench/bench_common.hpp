@@ -1,0 +1,39 @@
+// Shared helpers for the experiment harnesses. Each bench binary prints
+// measured-vs-predicted tables for one experiment of DESIGN.md §4, then
+// runs its google-benchmark timings (simulator wall-clock throughput).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "mcb/mcb.hpp"
+#include "util/table.hpp"
+
+namespace mcb::bench {
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline util::Table::Cell ratio(double measured, double predicted) {
+  return util::Table::num(predicted == 0 ? 0.0 : measured / predicted, 2);
+}
+
+/// Sorted-output spot check: aborts the bench on wrong results so a broken
+/// schedule can never masquerade as a fast one.
+inline void check_sorted(const std::vector<std::vector<Word>>& outputs) {
+  Word prev = outputs.empty() || outputs[0].empty()
+                  ? 0
+                  : outputs[0][0];
+  for (const auto& out : outputs) {
+    for (Word w : out) {
+      if (w > prev) {
+        std::cerr << "BENCH FAILURE: output not sorted\n";
+        std::abort();
+      }
+      prev = w;
+    }
+  }
+}
+
+}  // namespace mcb::bench

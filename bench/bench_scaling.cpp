@@ -1,0 +1,114 @@
+// E13 — simulator scaling: wall-clock throughput of the cycle-accurate
+// simulation itself at the largest configurations the other experiments
+// build on, plus the cycle-count invariances at scale. Not a paper claim —
+// an engineering artifact documenting what the instrument can measure.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mcb;
+
+void scaling_table() {
+  bench::section("E13: simulator throughput (columnsort-even)");
+  util::Table t;
+  t.header({"p", "k", "n", "cycles", "messages", "wall ms",
+            "sim cycles/s", "msgs/s"});
+  for (auto [p, k, n] : std::vector<std::array<std::size_t, 3>>{
+           {16, 4, 16384},
+           {64, 8, 131072},
+           {128, 16, 262144},
+           {256, 16, 524288},
+       }) {
+    auto w = util::make_workload(n, p, util::Shape::kEven, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = algo::columnsort_even({.p = p, .k = k}, w.inputs);
+    const auto dt = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    bench::check_sorted(res.run.outputs);
+    t.row({util::Table::num(p), util::Table::num(k), util::Table::num(n),
+           util::Table::num(res.run.stats.cycles),
+           util::Table::num(res.run.stats.messages),
+           util::Table::num(dt, 1),
+           util::Table::num(double(res.run.stats.cycles) / dt * 1000.0, 0),
+           util::Table::num(double(res.run.stats.messages) / dt * 1000.0,
+                            0)});
+  }
+  std::cout << t;
+}
+
+void selection_scaling_table() {
+  bench::section("E13b: selection at scale (p=256, k=16)");
+  util::Table t;
+  t.header({"n", "phases", "cycles", "messages", "wall ms"});
+  for (std::size_t n : {65536u, 262144u, 1048576u}) {
+    auto w = util::make_workload(n, 256, util::Shape::kEven, 2);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = algo::select_median({.p = 256, .k = 16}, w.inputs);
+    const auto dt = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    t.row({util::Table::num(n), util::Table::num(res.filter_phases),
+           util::Table::num(res.stats.cycles),
+           util::Table::num(res.stats.messages), util::Table::num(dt, 1)});
+  }
+  std::cout << t;
+}
+
+void partial_sums_scaling_table() {
+  bench::section("E13c: Partial-Sums at scale (k=64)");
+  util::Table t;
+  t.header({"p", "cycles", "messages", "wall ms"});
+  for (std::size_t p : {256u, 1024u, 4096u}) {
+    Network net({.p = p, .k = 64});
+    auto prog = [](Proc& self) -> ProcMain {
+      auto res = co_await algo::partial_sums(
+          self, static_cast<Word>(self.id()), algo::SumOp::add(),
+          {.with_total = true});
+      benchmark::DoNotOptimize(res.total);
+    };
+    for (ProcId i = 0; i < p; ++i) net.install(i, prog(net.proc(i)));
+    const auto t0 = std::chrono::steady_clock::now();
+    auto stats = net.run();
+    const auto dt = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    t.row({util::Table::num(p), util::Table::num(stats.cycles),
+           util::Table::num(stats.messages), util::Table::num(dt, 1)});
+  }
+  std::cout << t;
+}
+
+void BM_SimulatorCycleOverhead(benchmark::State& state) {
+  // Raw per-cycle simulation cost: p idle processors stepping.
+  const auto p = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Network net({.p = p, .k = 1});
+    auto prog = [](Proc& self) -> ProcMain {
+      for (int t = 0; t < 1000; ++t) {
+        co_await self.step();
+      }
+    };
+    for (ProcId i = 0; i < p; ++i) net.install(i, prog(net.proc(i)));
+    auto stats = net.run();
+    benchmark::DoNotOptimize(stats.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000 * static_cast<std::int64_t>(p));
+}
+BENCHMARK(BM_SimulatorCycleOverhead)->Arg(16)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scaling_table();
+  selection_scaling_table();
+  partial_sums_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E7 — Section 8 / Corollary 7: selection.
+//
+// Messages must track p*log2(kn/p) and cycles (p/k)*log2(kn/p); the number
+// of filtering phases tracks log(kn/p) via the >= 1/4 purge guarantee.
+// Sweeps n, p and the rank d.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "theory/bounds.hpp"
+
+namespace {
+
+using namespace mcb;
+
+void sweep_n() {
+  bench::section("E7a: sweep n at p=32, k=4 (median)");
+  util::Table t;
+  t.header({"n", "phases", "cycles", "(p/k)log(kn/p)", "cyc ratio",
+            "messages", "p*log(kn/p)", "msg ratio"});
+  const std::size_t p = 32, k = 4;
+  for (std::size_t n : {1024u, 4096u, 16384u, 65536u, 262144u}) {
+    auto w = util::make_workload(n, p, util::Shape::kEven, 1);
+    auto res = algo::select_median({.p = p, .k = k}, w.inputs);
+    const double mc = theory::selection_cycles_term(p, k, n);
+    const double mm = theory::selection_messages_term(p, k, n);
+    t.row({util::Table::num(n), util::Table::num(res.filter_phases),
+           util::Table::num(res.stats.cycles), util::Table::num(mc, 0),
+           bench::ratio(double(res.stats.cycles), mc),
+           util::Table::num(res.stats.messages), util::Table::num(mm, 0),
+           bench::ratio(double(res.stats.messages), mm)});
+  }
+  std::cout << t;
+}
+
+void sweep_p() {
+  bench::section("E7b: sweep p at k=4, n=65536 (median)");
+  util::Table t;
+  t.header({"p", "phases", "cycles", "(p/k)log(kn/p)", "cyc ratio",
+            "messages", "p*log(kn/p)", "msg ratio"});
+  const std::size_t k = 4, n = 65536;
+  for (std::size_t p : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    auto w = util::make_workload(n, p, util::Shape::kEven, 2);
+    auto res = algo::select_median({.p = p, .k = k}, w.inputs);
+    const double mc = theory::selection_cycles_term(p, k, n);
+    const double mm = theory::selection_messages_term(p, k, n);
+    t.row({util::Table::num(p), util::Table::num(res.filter_phases),
+           util::Table::num(res.stats.cycles), util::Table::num(mc, 0),
+           bench::ratio(double(res.stats.cycles), mc),
+           util::Table::num(res.stats.messages), util::Table::num(mm, 0),
+           bench::ratio(double(res.stats.messages), mm)});
+  }
+  std::cout << t;
+}
+
+void sweep_rank() {
+  bench::section("E7c: sweep rank d at p=32, k=4, n=65536");
+  util::Table t;
+  t.header({"d", "value rank", "phases", "cycles", "messages"});
+  const std::size_t p = 32, k = 4, n = 65536;
+  auto w = util::make_workload(n, p, util::Shape::kEven, 3);
+  for (std::size_t d : {std::size_t{1}, n / 100, n / 10, n / 4, n / 2,
+                        3 * n / 4, n}) {
+    auto res = algo::select_rank({.p = p, .k = k}, w.inputs, d);
+    t.row({util::Table::num(d),
+           util::Table::txt(d == 1 ? "max" : (d == n ? "min" : "interior")),
+           util::Table::num(res.filter_phases),
+           util::Table::num(res.stats.cycles),
+           util::Table::num(res.stats.messages)});
+  }
+  std::cout << t;
+}
+
+void sweep_skew() {
+  bench::section("E7d: selection under skewed distributions, p=32, k=4, "
+                 "n=32768");
+  util::Table t;
+  t.header({"distribution", "n_max", "phases", "cycles", "messages"});
+  for (auto shape : {util::Shape::kEven, util::Shape::kZipf,
+                     util::Shape::kOneHot}) {
+    auto w = util::make_workload(32768, 32, shape, 5);
+    auto res = algo::select_median({.p = 32, .k = 4}, w.inputs);
+    t.row({util::Table::txt(util::to_string(shape)),
+           util::Table::num(w.max_local()),
+           util::Table::num(res.filter_phases),
+           util::Table::num(res.stats.cycles),
+           util::Table::num(res.stats.messages)});
+  }
+  std::cout << t;
+}
+
+void BM_SelectMedian(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto w = util::make_workload(n, 32, util::Shape::kEven, 1);
+  for (auto _ : state) {
+    auto res = algo::select_median({.p = 32, .k = 4}, w.inputs);
+    benchmark::DoNotOptimize(res.value);
+  }
+}
+BENCHMARK(BM_SelectMedian)->Arg(4096)->Arg(65536)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep_n();
+  sweep_p();
+  sweep_rank();
+  sweep_skew();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

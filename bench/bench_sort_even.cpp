@@ -1,0 +1,89 @@
+// E2 — Corollaries 3/5: even-distribution sorting.
+//
+// Tables: (a) messages vs n at fixed (p, k) — the Theta(n) claim; (b)
+// cycles vs n/k sweeping k at fixed n — the Theta(n/k) claim; both ratios
+// must be ~flat. Plus simulator wall-clock throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mcb;
+
+void sweep_n() {
+  bench::section("E2a: sweep n at p=64, k=8 (expect flat ratios)");
+  util::Table t;
+  t.header({"n", "cycles", "n/k", "cyc/(n/k)", "messages", "n", "msg/n",
+            "columns"});
+  const std::size_t p = 64, k = 8;
+  for (std::size_t n : {4096u, 8192u, 16384u, 32768u, 65536u, 131072u}) {
+    auto w = util::make_workload(n, p, util::Shape::kEven, 1);
+    auto res = algo::columnsort_even({.p = p, .k = k}, w.inputs);
+    bench::check_sorted(res.run.outputs);
+    t.row({util::Table::num(n), util::Table::num(res.run.stats.cycles),
+           util::Table::num(n / k),
+           bench::ratio(double(res.run.stats.cycles), double(n) / double(k)),
+           util::Table::num(res.run.stats.messages), util::Table::num(n),
+           bench::ratio(double(res.run.stats.messages), double(n)),
+           util::Table::num(res.columns)});
+  }
+  std::cout << t;
+}
+
+void sweep_k() {
+  bench::section("E2b: sweep k at n=65536, p=64 (cycles ~ n/k)");
+  util::Table t;
+  t.header({"k", "columns", "cycles", "n/kk", "cyc/(n/kk)", "messages",
+            "msg/n"});
+  const std::size_t n = 65536, p = 64;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto w = util::make_workload(n, p, util::Shape::kEven, 2);
+    auto res = algo::columnsort_even({.p = p, .k = k}, w.inputs);
+    bench::check_sorted(res.run.outputs);
+    t.row({util::Table::num(k), util::Table::num(res.columns),
+           util::Table::num(res.run.stats.cycles),
+           util::Table::num(n / res.columns),
+           bench::ratio(double(res.run.stats.cycles),
+                        double(n) / double(res.columns)),
+           util::Table::num(res.run.stats.messages),
+           bench::ratio(double(res.run.stats.messages), double(n))});
+  }
+  std::cout << t;
+}
+
+void phase_breakdown() {
+  bench::section("E2c: phase breakdown at n=65536, p=64, k=8");
+  auto w = util::make_workload(65536, 64, util::Shape::kEven, 3);
+  auto res = algo::columnsort_even({.p = 64, .k = 8}, w.inputs);
+  util::Table t;
+  t.header({"phase", "cycles", "messages"});
+  for (const auto& ph : res.run.stats.phases) {
+    t.row({util::Table::txt(ph.name), util::Table::num(ph.cycles),
+           util::Table::num(ph.messages)});
+  }
+  std::cout << t;
+}
+
+void BM_ColumnsortEven(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto w = util::make_workload(n, 64, util::Shape::kEven, 1);
+  for (auto _ : state) {
+    auto res = algo::columnsort_even({.p = 64, .k = 8}, w.inputs);
+    benchmark::DoNotOptimize(res.run.stats.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ColumnsortEven)->Arg(4096)->Arg(32768)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep_n();
+  sweep_k();
+  phase_breakdown();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Log-shipping: 24 front-end nodes hold very different volumes of
+// timestamped log records (one hot node, a zipf tail). Sorting the records
+// across the fleet with the uneven-distribution Columnsort (Section 7.2)
+// gives each node a contiguous, globally ordered slab — without any node
+// ever holding more than its own share plus one column.
+//
+//   $ ./uneven_logs
+#include <iostream>
+
+#include "mcb/mcb.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcb;
+
+  const SimConfig cfg{.p = 24, .k = 6};
+  const std::size_t n = 30000;
+
+  auto workload = util::make_workload(n, cfg.p, util::Shape::kZipf, 13);
+  std::cout << "records   : " << n << " over " << cfg.p << " nodes, "
+            << "hottest node holds " << workload.max_local() << "\n\n";
+
+  const auto res = algo::uneven_sort(cfg, workload.inputs);
+
+  util::Table t;
+  t.header({"phase", "cycles", "messages"});
+  for (const auto& ph : res.run.stats.phases) {
+    t.row({util::Table::txt(ph.name),
+           util::Table::num(ph.cycles),
+           util::Table::num(ph.messages)});
+  }
+  t.row({util::Table::txt("TOTAL"),
+         util::Table::num(res.run.stats.cycles),
+         util::Table::num(res.run.stats.messages)});
+  std::cout << t;
+
+  std::cout << "\ngroups formed : " << res.groups << " (columns of length "
+            << res.column_len << ")\n";
+
+  // Spot-check the global order across node boundaries.
+  Word prev = res.run.outputs[0][0];
+  for (const auto& out : res.run.outputs) {
+    for (Word w : out) {
+      if (w > prev) {
+        std::cerr << "order violated\n";
+        return 1;
+      }
+      prev = w;
+    }
+  }
+  std::cout << "order checked : node 0 holds the newest records, node "
+            << cfg.p << " the oldest\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Hosting a big network on small hardware (Section 2's simulation lemma,
+// executed): a 32-processor, 8-channel sort is recorded and then replayed
+// through relay processors on an 8-processor, 2-channel machine — every
+// message really crosses a real channel, and every delivery is verified.
+//
+//   $ ./virtual_hardware
+#include <iostream>
+
+#include "mcb/mcb.hpp"
+#include "mcb/virtualize.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mcb;
+
+  const SimConfig virt{.p = 32, .k = 8};
+  const SimConfig real{.p = 8, .k = 2};
+  const std::size_t n = 1024;
+
+  auto workload = util::make_workload(n, virt.p, util::Shape::kEven, 11);
+  std::vector<std::vector<Word>> outputs(virt.p);
+
+  std::cout << "sorting " << n << " elements on a virtual MCB(" << virt.p
+            << "," << virt.k << "), hosted on a real MCB(" << real.p << ","
+            << real.k << ")...\n\n";
+
+  const auto plan = algo::EvenSortPlan::build(virt.p, virt.k, n / virt.p);
+  auto res = run_virtualized(real, virt, [&](Network& net) {
+    auto prog = [](Proc& self, const algo::EvenSortPlan& pl,
+                   const std::vector<Word>& in,
+                   std::vector<Word>& out) -> ProcMain {
+      std::vector<algo::KV> kv;
+      kv.reserve(in.size());
+      for (Word v : in) kv.push_back(algo::KV{v, 0});
+      co_await algo::columnsort_even_collective(self, pl, kv);
+      out.clear();
+      for (const auto& e : kv) out.push_back(e.key);
+    };
+    for (ProcId i = 0; i < virt.p; ++i) {
+      net.install(i, prog(net.proc(i), plan, workload.inputs[i],
+                          outputs[i]));
+    }
+  });
+
+  // The sort happened: spot-check the global order.
+  Word prev = outputs[0][0];
+  for (const auto& out : outputs) {
+    for (Word v : out) {
+      if (v > prev) {
+        std::cerr << "order violated!\n";
+        return 1;
+      }
+      prev = v;
+    }
+  }
+
+  util::Table t;
+  t.header({"machine", "cycles", "messages"});
+  t.row({util::Table::txt("virtual MCB(32,8)"),
+         util::Table::num(res.virtual_stats.cycles),
+         util::Table::num(res.virtual_stats.messages)});
+  t.row({util::Table::txt("hosted on MCB(8,2)"),
+         util::Table::num(res.real_stats.cycles),
+         util::Table::num(res.real_stats.messages)});
+  std::cout << t << "\noverhead: "
+            << res.predicted.cycle_overhead(res.virtual_stats)
+            << "x cycles (h=" << res.predicted.hosts
+            << " hosted processors each, c=" << res.predicted.channel_mux
+            << " channels multiplexed), " << res.predicted.hosts
+            << "x messages — every delivery verified against the virtual "
+               "run.\n";
+  return 0;
+}

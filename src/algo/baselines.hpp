@@ -1,0 +1,45 @@
+// Baseline algorithms the paper's contributions are compared against.
+//
+// * central_sort          — gather everything into P_1, sort locally,
+//                           broadcast back. Uses one channel regardless of
+//                           k: Theta(n) cycles, the natural "naive"
+//                           distributed sort. Columnsort's win is the k-fold
+//                           cycle reduction.
+// * selection_by_sorting  — Section 8's strawman: sort the whole input, then
+//                           the owner of rank d announces it. Correct but
+//                           pays Theta(n) messages where filtering pays
+//                           Theta(p log(kn/p)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/runner.hpp"
+#include "algo/selection.hpp"
+#include "mcb/sim_config.hpp"
+
+namespace mcb::algo {
+
+/// Gather-sort-scatter on channel 0. Arbitrary distributions; output
+/// contract identical to the Columnsort variants.
+AlgoResult central_sort(const SimConfig& cfg,
+                        const std::vector<std::vector<Word>>& inputs,
+                        TraceSink* sink = nullptr);
+
+/// Selection by fully sorting (uneven Columnsort) and announcing N[d].
+SelectionResult selection_by_sorting(const SimConfig& cfg,
+                                     const std::vector<std::vector<Word>>& inputs,
+                                     std::size_t d, TraceSink* sink = nullptr);
+
+/// Central sort under the Section-9 model extension (multi-read): the
+/// collector reads all k channels per cycle, so the gather phase drops to
+/// ~n/k cycles — but the single broadcaster still needs Theta(n) cycles to
+/// scatter, so the total stays Theta(n). A concrete illustration of the
+/// paper's closing remark that the extensions are not needed for optimal
+/// sorting: Columnsort already achieves Theta(n/k) in the standard model.
+/// Requires cfg.multi_read and an even distribution with p a multiple of k.
+AlgoResult central_sort_multiread(const SimConfig& cfg,
+                                  const std::vector<std::vector<Word>>& inputs,
+                                  TraceSink* sink = nullptr);
+
+}  // namespace mcb::algo

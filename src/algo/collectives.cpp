@@ -1,0 +1,116 @@
+#include "algo/collectives.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mcb::algo {
+
+Task<Word> reduce(Proc& self, Word value, const SumOp& op) {
+  const auto res =
+      co_await partial_sums(self, value, op, {.with_total = true});
+  co_return res.total;
+}
+
+Task<Word> broadcast_value(Proc& self, ProcId root, Word value) {
+  MCB_REQUIRE(root < self.p(), "root " << root << " of " << self.p());
+  if (self.id() == root) {
+    co_await self.write(0, Message::of(value));
+    co_return value;
+  }
+  auto got = co_await self.read(0);
+  MCB_CHECK(got.has_value(), "broadcast from P" << root + 1 << " missing");
+  co_return got->at(0);
+}
+
+namespace {
+
+Word local_fold(std::span<const Word> local, const SumOp& op) {
+  Word acc = op.identity;
+  for (Word w : local) acc = op.combine(acc, w);
+  return acc;
+}
+
+}  // namespace
+
+Task<Word> find_max(Proc& self, std::span<const Word> local) {
+  co_return co_await reduce(self, local_fold(local, SumOp::max()),
+                            SumOp::max());
+}
+
+Task<Word> find_min(Proc& self, std::span<const Word> local) {
+  co_return co_await reduce(self, local_fold(local, SumOp::min()),
+                            SumOp::min());
+}
+
+Task<Word> count_ge(Proc& self, std::span<const Word> local, Word pivot) {
+  Word count = 0;
+  for (Word w : local) {
+    if (w >= pivot) ++count;
+  }
+  co_return co_await reduce(self, count, SumOp::add());
+}
+
+namespace {
+
+enum class Kind { kMax, kMin, kCountGe };
+
+CollectiveResult run_collective(const SimConfig& cfg,
+                                const std::vector<std::vector<Word>>& inputs,
+                                Kind kind, Word pivot) {
+  cfg.validate();
+  MCB_REQUIRE(inputs.size() == cfg.p, "inputs for " << inputs.size()
+                                                    << " processors, p="
+                                                    << cfg.p);
+  std::size_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  MCB_REQUIRE(total > 0 || kind == Kind::kCountGe,
+              "extrema of an empty multiset");
+
+  std::vector<Word> answers(cfg.p, 0);
+  Network net(cfg);
+  auto prog = [](Proc& self, Kind kd, Word pv,
+                 const std::vector<Word>& local, Word& out) -> ProcMain {
+    switch (kd) {
+      case Kind::kMax:
+        out = co_await find_max(self, local);
+        break;
+      case Kind::kMin:
+        out = co_await find_min(self, local);
+        break;
+      case Kind::kCountGe:
+        out = co_await count_ge(self, local, pv);
+        break;
+    }
+  };
+  for (ProcId i = 0; i < cfg.p; ++i) {
+    net.install(i, prog(net.proc(i), kind, pivot, inputs[i], answers[i]));
+  }
+  CollectiveResult result;
+  result.stats = net.run();
+  result.value = answers[0];
+  for (std::size_t i = 1; i < cfg.p; ++i) {
+    MCB_CHECK(answers[i] == answers[0], "P" << i + 1 << " disagrees");
+  }
+  return result;
+}
+
+}  // namespace
+
+CollectiveResult run_find_max(const SimConfig& cfg,
+                              const std::vector<std::vector<Word>>& inputs) {
+  return run_collective(cfg, inputs, Kind::kMax, 0);
+}
+
+CollectiveResult run_find_min(const SimConfig& cfg,
+                              const std::vector<std::vector<Word>>& inputs) {
+  return run_collective(cfg, inputs, Kind::kMin, 0);
+}
+
+CollectiveResult run_count_ge(const SimConfig& cfg,
+                              const std::vector<std::vector<Word>>& inputs,
+                              Word pivot) {
+  return run_collective(cfg, inputs, Kind::kCountGe, pivot);
+}
+
+}  // namespace mcb::algo

@@ -1,0 +1,57 @@
+// The single-channel distributed Merge-Sort of Section 6.1.
+//
+// Each processor first sorts its local list. The processors then maintain a
+// *distributed linked list* of their current top (largest unplaced)
+// elements, sorted descending: each processor knows its own top element, a
+// pointer to the next smaller listed top, and its rank in the list. In each
+// round the head of the list (rank 1) moves its top to that element's
+// target processor; to keep memory constant, the target evicts its smallest
+// remaining element back to the head ("replacement"); the head then
+// re-inserts its new top into the linked list with one broadcast and one
+// reply.
+//
+// Round structure (4 cycles, fixed, so the whole group stays in lockstep):
+//   C1  head -> target: the next-largest element (placed at output slot r)
+//   C2  target -> head: replacement (silence when the target is the head,
+//       holds fewer than two unplaced elements, or has none)
+//   C3  head broadcast: its new top, for insertion (silence when empty)
+//   C4  P_b -> head: insertion point (new rank + predecessor's pointer);
+//       silence means the new top is the global maximum (head keeps its
+//       pointer, which by the only-heads-are-removed invariant is exactly
+//       the current rank-1 top)
+//
+// The initial linked list is built by 3-cycle insertions, one member after
+// another (the third cycle lets a demoted head hand its top to a new global
+// maximum, which otherwise would not know its successor).
+//
+// Complexity for a group holding n elements: O(n) cycles and messages, and
+// O(1) auxiliary storage per processor — the memory claim this module
+// exists to demonstrate (Rank-Sort needs O(n_i) counters).
+//
+// Duplicate values are handled by the paper's w.l.o.g. triple trick:
+// elements travel as (value, owner, serial) keys ordered lexicographically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "algo/ranksort.hpp"  // GroupSpec
+#include "algo/runner.hpp"
+#include "mcb/coro.hpp"
+#include "mcb/proc.hpp"
+
+namespace mcb::algo {
+
+/// Sorts the group's distributed list descending; same collective contract
+/// as ranksort_group (all members co_await together; `sizes` known to all).
+Task<void> mergesort_group(Proc& self, const GroupSpec& grp,
+                           std::span<const std::size_t> sizes,
+                           std::vector<Word>& data);
+
+/// Standalone driver over the whole network on channel 0.
+AlgoResult mergesort(const SimConfig& cfg,
+                     const std::vector<std::vector<Word>>& inputs,
+                     TraceSink* sink = nullptr);
+
+}  // namespace mcb::algo

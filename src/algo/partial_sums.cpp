@@ -1,0 +1,194 @@
+#include "algo/partial_sums.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mcb::algo {
+
+SumOp SumOp::add() {
+  return {[](Word a, Word b) { return a + b; }, 0};
+}
+
+SumOp SumOp::max() {
+  return {[](Word a, Word b) { return std::max(a, b); },
+          std::numeric_limits<Word>::min()};
+}
+
+SumOp SumOp::min() {
+  return {[](Word a, Word b) { return std::min(a, b); },
+          std::numeric_limits<Word>::max()};
+}
+
+namespace {
+
+std::size_t ceil_log2(std::size_t p) {
+  std::size_t d = 0;
+  while ((std::size_t{1} << d) < p) ++d;
+  return d;
+}
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Burns exactly `total` cycles, performing at most one channel action at
+/// in-level cycle `at` (ignored when at == SIZE_MAX). `write`/`read` follow
+/// Proc::cycle semantics.
+Task<Proc::ReadResult> level_cycles(Proc& self, std::size_t total,
+                                    std::size_t at,
+                                    std::optional<WriteOp> write,
+                                    std::optional<ChannelId> read) {
+  Proc::ReadResult result;
+  if (at == SIZE_MAX || at >= total) {
+    if (total > 0) co_await self.skip(total);
+    co_return result;
+  }
+  if (at > 0) co_await self.skip(at);
+  result = co_await self.cycle(std::move(write), read);
+  if (at + 1 < total) co_await self.skip(total - at - 1);
+  co_return result;
+}
+
+}  // namespace
+
+Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
+                                     PartialSumsOptions opts) {
+  const std::size_t p = self.p();
+  const std::size_t k = self.k();
+  const std::size_t i = self.id();
+  const std::size_t depth = ceil_log2(p);
+  const std::size_t p2 = std::size_t{1} << depth;
+
+  PartialSumsResult out;
+  if (p == 1) {
+    out.before = op.identity;
+    out.self = a_i;
+    out.next = a_i;
+    out.total = a_i;
+    co_return out;
+  }
+
+  // val[l] = combined value of the subtree of the level-l node this
+  // processor simulates (it simulates node (l, i >> l) iff 2^l | i).
+  std::vector<Word> val(depth + 1, op.identity);
+  val[0] = a_i;
+  self.note_aux(val.size());
+
+  // --- bottom-up phase ------------------------------------------------------
+  for (std::size_t l = 0; l < depth; ++l) {
+    const std::size_t pairs = p2 >> (l + 1);  // fathers at level l+1
+    const std::size_t cycles = ceil_div(pairs, k);
+    const std::size_t stride = std::size_t{1} << l;
+
+    std::size_t at = SIZE_MAX;
+    std::optional<WriteOp> write;
+    std::optional<ChannelId> read;
+    if (i % stride == 0) {
+      const std::size_t node = i >> l;
+      if (node % 2 == 1) {
+        // Right son: send subtree value to the father's simulator.
+        const std::size_t father = node / 2;
+        at = father / k;
+        write = WriteOp{static_cast<ChannelId>(father % k),
+                        Message::of(val[l])};
+      } else if (i % (stride * 2) == 0) {
+        // Father simulator (== left son simulator): receive from right son.
+        const std::size_t father = node / 2;
+        at = father / k;
+        read = static_cast<ChannelId>(father % k);
+      }
+    }
+    auto got = co_await level_cycles(self, cycles, at, std::move(write), read);
+    if (i % (stride * 2) == 0) {
+      // Silence = dummy right subtree (p not a power of two) = identity.
+      val[l + 1] = got ? op.combine(val[l], got->at(0)) : val[l];
+    }
+  }
+
+  // --- top-down phase -------------------------------------------------------
+  // F = combined value of everything left of the current node's subtree.
+  Word f = op.identity;
+  if (i == 0) out.total = val[depth];
+  for (std::size_t l = depth; l >= 1; --l) {
+    const std::size_t fathers = p2 >> l;
+    const std::size_t cycles = ceil_div(fathers, k);
+    const std::size_t stride = std::size_t{1} << (l - 1);
+
+    std::size_t at = SIZE_MAX;
+    std::optional<WriteOp> write;
+    std::optional<ChannelId> read;
+    bool receiving = false;
+    if (i % stride == 0) {
+      const std::size_t node = i >> (l - 1);  // this proc's node at level l-1
+      if (node % 2 == 0 && i % (stride * 2) == 0) {
+        // Father: send F ⊕ L to the right son, unless the right subtree is
+        // entirely dummy (its simulator would not exist).
+        const std::size_t father = node / 2;
+        if (i + stride < p) {
+          at = father / k;
+          write = WriteOp{static_cast<ChannelId>(father % k),
+                          Message::of(op.combine(f, val[l - 1]))};
+        }
+        // f unchanged for the left son (== this processor).
+      } else if (node % 2 == 1) {
+        const std::size_t father = node / 2;
+        at = father / k;
+        read = static_cast<ChannelId>(father % k);
+        receiving = true;
+      }
+    }
+    auto got = co_await level_cycles(self, cycles, at, std::move(write), read);
+    if (receiving) {
+      MCB_CHECK(got.has_value(), "top-down message missing at P" << i + 1);
+      f = got->at(0);
+    }
+  }
+
+  out.before = f;
+  out.self = op.combine(f, a_i);
+
+  // --- optional total broadcast --------------------------------------------
+  if (opts.with_total) {
+    if (i == 0) {
+      co_await self.write(0, Message::of(out.total));
+    } else {
+      auto got = co_await self.read(0);
+      MCB_CHECK(got.has_value(), "total broadcast missing at P" << i + 1);
+      out.total = got->at(0);
+    }
+  }
+
+  // --- optional neighbour exchange -------------------------------------
+  // P_{i+1} tells P_i its inclusive prefix; O(p/k) cycles, p-1 messages.
+  if (opts.with_next) {
+    out.next = out.self;  // correct for the last processor
+    const std::size_t cycles = ceil_div(p - 1, k);
+    const std::size_t send_at = i >= 1 ? (i - 1) / k : SIZE_MAX;
+    const std::size_t read_at = i + 1 < p ? i / k : SIZE_MAX;
+    for (std::size_t t = 0; t < cycles; ++t) {
+      std::optional<WriteOp> write;
+      std::optional<ChannelId> read;
+      if (t == send_at) {
+        write = WriteOp{static_cast<ChannelId>((i - 1) % k),
+                        Message::of(out.self)};
+      }
+      if (t == read_at) {
+        read = static_cast<ChannelId>(i % k);
+      }
+      if (!write && !read) {
+        co_await self.step();
+        continue;
+      }
+      auto got = co_await self.cycle(std::move(write), read);
+      if (t == read_at) {
+        MCB_CHECK(got.has_value(), "neighbour prefix missing at P" << i + 1);
+        out.next = got->at(0);
+      }
+    }
+  }
+
+  co_return out;
+}
+
+}  // namespace mcb::algo

@@ -1,0 +1,59 @@
+// The single-channel Rank-Sort algorithm of Section 6.1.
+//
+// A group of processors sharing one broadcast channel sorts its distributed
+// list in two linear passes:
+//
+//   pass 1  every element is broadcast once, processor after processor;
+//           each processor maintains a rank counter per local element,
+//           incremented whenever a larger element is heard. Afterwards each
+//           processor knows the (descending, 1-based) global rank of each of
+//           its elements.
+//   pass 2  elements are broadcast in rank order — the owner of rank r
+//           writes in slot r — and collected by their target processors.
+//           Slots whose element already sits on its target stay silent.
+//
+// Complexity: 2*n cycles and at most 2*n messages for a group holding n
+// elements; O(n_i) auxiliary storage per processor. Works for arbitrary
+// (even or uneven) distributions, and for duplicate values (elements are
+// broadcast as (value, owner, index) triples and ordered lexicographically,
+// exactly the w.l.o.g. tie-breaking of Section 3).
+//
+// ranksort_group is a *collective over a group*: every member must co_await
+// it in the same cycle, and all members must agree on the group layout.
+// Several groups may run the collective concurrently on distinct channels —
+// that is precisely how the memory-efficient Columnsort (Section 6.1) sorts
+// its virtual columns.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "algo/runner.hpp"
+#include "mcb/coro.hpp"
+#include "mcb/proc.hpp"
+
+namespace mcb::algo {
+
+/// A contiguous run of processors sharing one channel.
+struct GroupSpec {
+  ProcId first = 0;        ///< lowest processor id in the group
+  std::size_t count = 0;   ///< number of processors
+  ChannelId channel = 0;   ///< the group's broadcast channel
+};
+
+/// Sorts the group's distributed list descending. `sizes[g]` is member g's
+/// element count (known to all members); on return, `data` (the calling
+/// member's local list, arbitrary order) holds that member's segment of the
+/// descending order, with |data| preserved.
+Task<void> ranksort_group(Proc& self, const GroupSpec& grp,
+                          std::span<const std::size_t> sizes,
+                          std::vector<Word>& data);
+
+/// Standalone driver: sorts `inputs` over the whole network using channel 0
+/// only (the paper presents Rank-Sort as a single-channel algorithm).
+AlgoResult ranksort(const SimConfig& cfg,
+                    const std::vector<std::vector<Word>>& inputs,
+                    TraceSink* sink = nullptr);
+
+}  // namespace mcb::algo

@@ -1,0 +1,60 @@
+// Recursive Columnsort — Section 6.2.
+//
+// When n < k^2(k-1) the flat algorithm cannot use all k channels (the
+// Columnsort dimension rule caps the column count), so cycles degrade
+// toward O(n^{2/3}). The fix: split into k' < k virtual columns whose
+// length satisfies the rule at *this* level, recurse on the column-sorting
+// phases (each child gets 1/k' of the processors and channels), and run the
+// transformation phases over ALL k channels by breaking every column into
+// k/k' segments, one channel per segment — "all segments are broadcast
+// simultaneously, each segment using a separate channel".
+//
+// Scheduling the segmented transformations is the interesting part: per
+// cycle each channel carries one message and each processor receives at
+// most one, which is exactly a bipartite edge coloring between segment
+// channels and receiving processors. Segments align with processor
+// boundaries, so a channel clash subsumes a writer clash, and the
+// Euler-split colorer (sched::euler_color) yields < 2 * (n_c/kc) rounds per
+// transformation at a node with n_c elements and kc channels. That ratio is
+// invariant down the tree (children have n_c/k' elements and kc/k'
+// channels), so with depth s the total cost is O(s * n/k) cycles and
+// O(s * n) messages — Corollary 5.
+//
+// Base cases: one processor (local sort, free) or one channel (Rank-Sort).
+// A node whose dimensions admit k' = kc needs no segmentation and matches
+// the memory-efficient algorithm of Section 6.1.
+//
+// Preconditions: even distribution, k | p, and enough divisibility for the
+// splits (powers of two for p, k and n/p always work). The planner is
+// greedy — largest feasible k' per level — unless capped for ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/runner.hpp"
+#include "mcb/sim_config.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb::algo {
+
+struct RecursiveSortOptions {
+  /// Caps the per-level split factor k' (0 = greedy largest). Smaller caps
+  /// force deeper recursion — the ablation knob for the "choice of s"
+  /// trade-off in Corollary 5.
+  std::size_t max_split = 0;
+};
+
+struct RecursiveSortResult {
+  AlgoResult run;
+  std::size_t depth = 0;        ///< levels of splitting in the plan tree
+  std::size_t top_columns = 0;  ///< k' at the root
+};
+
+/// Sorts an evenly distributed input recursively. Same output contract as
+/// columnsort_even.
+RecursiveSortResult recursive_columnsort(
+    const SimConfig& cfg, const std::vector<std::vector<Word>>& inputs,
+    RecursiveSortOptions opts = {}, TraceSink* sink = nullptr);
+
+}  // namespace mcb::algo

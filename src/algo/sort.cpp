@@ -1,0 +1,82 @@
+#include "algo/sort.hpp"
+
+#include "algo/baselines.hpp"
+#include "algo/columnsort_even.hpp"
+#include "algo/mergesort.hpp"
+#include "algo/ranksort.hpp"
+#include "algo/recursive_columnsort.hpp"
+#include "algo/uneven_sort.hpp"
+#include "algo/virtual_columnsort.hpp"
+#include "util/check.hpp"
+
+namespace mcb::algo {
+
+const char* to_string(SortAlgorithm a) {
+  switch (a) {
+    case SortAlgorithm::kAuto: return "auto";
+    case SortAlgorithm::kColumnsortEven: return "columnsort-even";
+    case SortAlgorithm::kVirtualColumnsort: return "virtual-columnsort";
+    case SortAlgorithm::kRecursive: return "recursive-columnsort";
+    case SortAlgorithm::kUnevenColumnsort: return "uneven-columnsort";
+    case SortAlgorithm::kRankSort: return "rank-sort";
+    case SortAlgorithm::kMergeSort: return "merge-sort";
+    case SortAlgorithm::kCentral: return "central-sort";
+  }
+  return "?";
+}
+
+SortOutcome sort(const SimConfig& cfg,
+                 const std::vector<std::vector<Word>>& inputs,
+                 SortRequest req, TraceSink* sink) {
+  cfg.validate();
+  MCB_REQUIRE(inputs.size() == cfg.p, "inputs for " << inputs.size()
+                                                    << " processors, p="
+                                                    << cfg.p);
+  bool even = true;
+  for (const auto& in : inputs) {
+    MCB_REQUIRE(!in.empty(), "every processor needs at least one element");
+    even = even && in.size() == inputs.front().size();
+  }
+
+  SortAlgorithm algo = req.algorithm;
+  if (algo == SortAlgorithm::kAuto) {
+    if (cfg.k == 1) {
+      algo = SortAlgorithm::kRankSort;
+    } else if (even) {
+      algo = SortAlgorithm::kColumnsortEven;
+    } else {
+      algo = SortAlgorithm::kUnevenColumnsort;
+    }
+  }
+
+  SortOutcome out;
+  out.used = algo;
+  switch (algo) {
+    case SortAlgorithm::kColumnsortEven:
+      out.run = columnsort_even(cfg, inputs, {}, sink).run;
+      break;
+    case SortAlgorithm::kVirtualColumnsort:
+      out.run = virtual_columnsort(cfg, inputs, {}, sink).run;
+      break;
+    case SortAlgorithm::kRecursive:
+      out.run = recursive_columnsort(cfg, inputs, {}, sink).run;
+      break;
+    case SortAlgorithm::kUnevenColumnsort:
+      out.run = uneven_sort(cfg, inputs, sink).run;
+      break;
+    case SortAlgorithm::kRankSort:
+      out.run = ranksort(cfg, inputs, sink);
+      break;
+    case SortAlgorithm::kMergeSort:
+      out.run = mergesort(cfg, inputs, sink);
+      break;
+    case SortAlgorithm::kCentral:
+      out.run = central_sort(cfg, inputs, sink);
+      break;
+    case SortAlgorithm::kAuto:
+      MCB_CHECK(false, "unresolved auto");
+  }
+  return out;
+}
+
+}  // namespace mcb::algo

@@ -1,0 +1,51 @@
+// Front-door sorting API: picks the right algorithm for the input shape.
+//
+//   even distribution, feasible column split  -> columnsort_even (5.2) or
+//                                                virtual_columnsort (6.1)
+//   uneven distribution                       -> uneven_sort (7.2)
+//   k == 1                                    -> ranksort (6.1)
+//
+// Explicit algorithm choice is available for benchmarking and ablation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "algo/runner.hpp"
+#include "mcb/sim_config.hpp"
+
+namespace mcb::algo {
+
+enum class SortAlgorithm {
+  kAuto,
+  kColumnsortEven,     ///< Section 5.2 (gather-based)
+  kVirtualColumnsort,  ///< Section 6.1 (memory-efficient)
+  kRecursive,          ///< Section 6.2
+  kUnevenColumnsort,   ///< Section 7.2
+  kRankSort,           ///< Section 6.1 (single channel)
+  kMergeSort,          ///< Section 6.1 (single channel, O(1) aux)
+  kCentral,            ///< baseline
+};
+
+const char* to_string(SortAlgorithm a);
+
+struct SortRequest {
+  SortAlgorithm algorithm = SortAlgorithm::kAuto;
+};
+
+struct SortOutcome {
+  AlgoResult run;
+  SortAlgorithm used = SortAlgorithm::kAuto;
+};
+
+/// Sorts `inputs` descending across the network: outputs[i] is the i-th
+/// segment of the descending order, |outputs[i]| == |inputs[i]|. Throws
+/// std::invalid_argument on shape violations (empty processors, reserved
+/// dummy value, or an explicitly requested algorithm whose preconditions
+/// the input does not meet).
+SortOutcome sort(const SimConfig& cfg,
+                 const std::vector<std::vector<Word>>& inputs,
+                 SortRequest req = {}, TraceSink* sink = nullptr);
+
+}  // namespace mcb::algo

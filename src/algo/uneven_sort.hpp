@@ -1,0 +1,47 @@
+// Distributed sorting for arbitrary (uneven) distributions — Section 7.2.
+//
+// Phase 0 splits into two subphases. *Group formation*: the processors use
+// Partial-Sums to learn n, n_max and their own prefix counts, then form at
+// most k groups whose element counts m_j satisfy
+// ceil(n/k) <= m_j <= ceil(n/k) + n_max - 1, one group per cycle (the
+// group's representative — its highest-numbered member — announces m_j on
+// channel 0). *Element collection*: each member waits out its within-group
+// prefix and streams its elements to the representative on the group's
+// channel; all groups proceed in parallel, and the globally known padded
+// column length m doubles as the synchronization point for phase 1.
+//
+// Phases 1-9 are the shared Columnsort core over the (at most k) columns;
+// phase 10 is the double-broadcast redistribution, with each processor
+// collecting the segment of the descending order matching its ORIGINAL
+// element count (the definition of sorting in Section 3).
+//
+// Complexity: O(n) messages and O(n/k + n_max) cycles — by Corollary 6
+// optimal (Theta(max{n/k, n_max})) whenever n_max <= alpha*n for a constant
+// alpha < 1 and n >= k^2(k-1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/runner.hpp"
+#include "mcb/sim_config.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb::algo {
+
+struct UnevenSortResult {
+  AlgoResult run;
+  std::size_t groups = 0;      ///< columns actually formed (<= k)
+  std::size_t column_len = 0;  ///< m after padding
+};
+
+/// Sorts an arbitrarily distributed input (every processor must hold at
+/// least one element; values != kDummy). Requires the Columnsort dimension
+/// condition to be satisfiable, i.e. roughly n >= k^2(k-1) — with fewer
+/// elements the algorithm automatically forms fewer groups only as the
+/// distribution dictates, so callers with tiny n should reduce k.
+UnevenSortResult uneven_sort(const SimConfig& cfg,
+                             const std::vector<std::vector<Word>>& inputs,
+                             TraceSink* sink = nullptr);
+
+}  // namespace mcb::algo

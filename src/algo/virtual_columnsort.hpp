@@ -1,0 +1,54 @@
+// Memory-efficient Columnsort — Section 6.1.
+//
+// Instead of gathering each group's elements into a representative (which
+// needs Theta(n/k) memory there), every group of p/kk processors acts as a
+// single *virtual processor* owning a *virtual column* that stays
+// distributed: member idx holds rows [idx*ni, (idx+1)*ni) (the last member
+// also holds the padding rows).
+//
+//   sorting phases      each group sorts its virtual column with the
+//                       single-channel Rank-Sort or Merge-Sort collective on
+//                       the group's own channel; all groups run in parallel
+//                       and in lockstep (both collectives have
+//                       deterministic cycle counts). Phase 7 skips column 1,
+//                       whose group idles the identical number of cycles.
+//   transformation      inter-column rounds follow the usual broadcast
+//   phases              schedule, except that "the work of a virtual
+//                       processor during a given cycle is carried out by the
+//                       processor containing the element to be broadcast";
+//                       all members of the destination group read the
+//                       channel concurrently and the owner of the
+//                       destination row keeps the element. Intra-column
+//                       moves, local in the representative version, now
+//                       cross member boundaries and run in a dedicated
+//                       block of rounds on the group's own channel.
+//
+// Complexity: O(n) messages, O(n/kk) cycles — same as the gather-based
+// algorithm — with per-processor storage O(n/p) instead of O(n/k).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/columnsort_even.hpp"
+#include "mcb/sim_config.hpp"
+
+namespace mcb::algo {
+
+enum class LocalSort {
+  kRankSort,   ///< O(n_i) aux storage per processor
+  kMergeSort,  ///< O(1) aux storage per processor
+};
+
+struct VirtualColumnsortOptions {
+  std::size_t columns = 0;  ///< 0 = automatic, as columnsort_even
+  LocalSort local_sort = LocalSort::kRankSort;
+};
+
+/// Sorts an evenly distributed input without ever concentrating a column in
+/// one processor. Same contract as columnsort_even.
+ColumnsortEvenResult virtual_columnsort(
+    const SimConfig& cfg, const std::vector<std::vector<Word>>& inputs,
+    VirtualColumnsortOptions opts = {}, TraceSink* sink = nullptr);
+
+}  // namespace mcb::algo

@@ -1,0 +1,187 @@
+// Coroutine plumbing for processor programs.
+//
+// A processor's behaviour is written as an ordinary C++20 coroutine:
+//
+//   ProcMain my_protocol(Proc& self, ...) {
+//     auto got = co_await self.write_read(c_out, Message::of(42), c_in);
+//     ...
+//     co_await sub_phase(self, ...);   // compose algorithms (Task<T>)
+//   }
+//
+// Execution model: the Network resumes each processor once per cycle. A
+// processor suspends at a cycle boundary by awaiting one of the Proc channel
+// operations (see proc.hpp); between two suspensions it performs arbitrary
+// local computation — exactly the "write, read, compute" cycle of Section 2
+// of the paper.
+//
+// Task<T> is an awaitable subroutine bound to the same processor. Awaiting
+// it transfers control into the subroutine; the subroutine's own cycle
+// awaits register themselves as the processor's resume point, so the Network
+// always resumes the innermost active coroutine. On completion, control
+// symmetrically transfers back to the awaiting parent. This makes the
+// paper's composition ("using the Partial-Sums algorithm, ...") a one-line
+// co_await.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace mcb {
+
+class Proc;
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/// Final awaiter of Task<T>: symmetric transfer back to the awaiting parent.
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation = nullptr;
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  TaskFinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct TaskPromise final : TaskPromiseBase<T> {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct TaskPromise<void> final : TaskPromiseBase<void> {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+/// An awaitable subroutine running on the same processor as its awaiter.
+/// Move-only; owns the coroutine frame. Must be awaited exactly once (the
+/// [[nodiscard]] catches the common mistake of calling a protocol subroutine
+/// without co_await, which would silently run nothing).
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  explicit Task(handle_type h) : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> parent) noexcept {
+    h_.promise().continuation = parent;
+    return h_;  // symmetric transfer into the subroutine
+  }
+  T await_resume() {
+    if (h_.promise().exception) {
+      std::rethrow_exception(h_.promise().exception);
+    }
+    if constexpr (!std::is_void_v<T>) {
+      return std::move(*h_.promise().value);
+    }
+  }
+
+ private:
+  handle_type h_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+/// Top-level program of one processor. Created by calling a coroutine
+/// function, then installed into a Network which drives it cycle by cycle.
+class [[nodiscard]] ProcMain {
+ public:
+  struct promise_type {
+    Proc* proc = nullptr;  // wired up by Network::install
+    std::exception_ptr exception;
+
+    ProcMain get_return_object() {
+      return ProcMain(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    // Defined in proc.hpp (needs Proc to be complete): marks the processor
+    // done so the Network stops scheduling it.
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept {
+      exception = std::current_exception();
+    }
+  };
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  explicit ProcMain(handle_type h) : h_(h) {}
+  ProcMain(ProcMain&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  ProcMain& operator=(ProcMain&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  ProcMain(const ProcMain&) = delete;
+  ProcMain& operator=(const ProcMain&) = delete;
+  ~ProcMain() {
+    if (h_) h_.destroy();
+  }
+
+  handle_type handle() const { return h_; }
+
+ private:
+  handle_type h_;
+};
+
+}  // namespace mcb

@@ -1,0 +1,55 @@
+// Simulator fault types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "mcb/types.hpp"
+
+namespace mcb {
+
+/// Base class of all simulator faults.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Two or more processors wrote the same channel in the same cycle. Per the
+/// model (Section 2), the computation fails; algorithms in this library must
+/// be collision-free, so this surfacing at runtime is always a bug in a
+/// protocol schedule.
+class CollisionError : public SimError {
+ public:
+  CollisionError(Cycle cycle, ChannelId channel, ProcId first, ProcId second);
+
+  Cycle cycle() const { return cycle_; }
+  ChannelId channel() const { return channel_; }
+  ProcId first_writer() const { return first_; }
+  ProcId second_writer() const { return second_; }
+
+ private:
+  Cycle cycle_;
+  ChannelId channel_;
+  ProcId first_;
+  ProcId second_;
+};
+
+/// A processor program violated the cycle protocol (e.g. a coroutine kept a
+/// dangling context, or the run exceeded the configured cycle limit).
+class ProtocolError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+inline CollisionError::CollisionError(Cycle cycle, ChannelId channel,
+                                      ProcId first, ProcId second)
+    : SimError("write collision on channel C" + std::to_string(channel + 1) +
+               " in cycle " + std::to_string(cycle) + " between P" +
+               std::to_string(first + 1) + " and P" +
+               std::to_string(second + 1)),
+      cycle_(cycle),
+      channel_(channel),
+      first_(first),
+      second_(second) {}
+
+}  // namespace mcb

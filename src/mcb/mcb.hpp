@@ -1,0 +1,31 @@
+// Umbrella header: the public API of the MCB library.
+//
+// A reproduction of "Sorting and Selection in Multi-Channel Broadcast
+// Networks" (Marberg & Gafni, 1985). The library provides:
+//
+//   mcb::Network / mcb::Proc      the cycle-accurate MCB(p, k) simulator
+//   mcb::algo::sort               distributed sorting (auto-dispatched)
+//   mcb::algo::select_rank        distributed selection by rank
+//   mcb::algo::partial_sums       the Partial-Sums collective
+//   mcb::theory::*                lower-bound formulas and adversaries
+//
+// See README.md for a quickstart and DESIGN.md for the full inventory.
+#pragma once
+
+#include "algo/baselines.hpp"
+#include "algo/collectives.hpp"
+#include "algo/columnsort_even.hpp"
+#include "algo/mergesort.hpp"
+#include "algo/partial_sums.hpp"
+#include "algo/ranksort.hpp"
+#include "algo/recursive_columnsort.hpp"
+#include "algo/runner.hpp"
+#include "algo/selection.hpp"
+#include "algo/sort.hpp"
+#include "algo/uneven_sort.hpp"
+#include "algo/virtual_columnsort.hpp"
+#include "mcb/network.hpp"
+#include "se/shout_echo.hpp"
+#include "theory/adversary.hpp"
+#include "theory/bounds.hpp"
+#include "util/workload.hpp"

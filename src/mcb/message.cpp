@@ -1,0 +1,37 @@
+#include "mcb/message.hpp"
+
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace mcb {
+
+Message::Message(std::initializer_list<Word> words) {
+  MCB_REQUIRE(words.size() <= kMaxWords,
+              "message of " << words.size() << " words exceeds the O(log "
+                            << "beta)-bit model limit of " << kMaxWords);
+  for (Word w : words) words_[size_++] = w;
+}
+
+Word Message::at(std::size_t i) const {
+  MCB_REQUIRE(i < size_, "word index " << i << " out of range (size "
+                                       << size_ << ")");
+  return words_[i];
+}
+
+void Message::push(Word w) {
+  MCB_REQUIRE(size_ < kMaxWords, "message already holds " << kMaxWords
+                                                          << " words");
+  words_[size_++] = w;
+}
+
+std::ostream& operator<<(std::ostream& os, const Message& m) {
+  os << '[';
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i) os << ' ';
+    os << m.at(i);
+  }
+  return os << ']';
+}
+
+}  // namespace mcb

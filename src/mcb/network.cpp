@@ -1,0 +1,173 @@
+#include "mcb/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace mcb {
+
+Network::Network(SimConfig cfg, TraceSink* sink)
+    : cfg_(cfg), sink_(sink) {
+  cfg_.validate();
+  procs_.reserve(cfg_.p);
+  for (std::size_t i = 0; i < cfg_.p; ++i) {
+    procs_.push_back(
+        std::unique_ptr<Proc>(new Proc(*this, static_cast<ProcId>(i))));
+  }
+  installed_.assign(cfg_.p, false);
+  slots_.resize(cfg_.k);
+  stats_.messages_per_proc.assign(cfg_.p, 0);
+  stats_.messages_per_channel.assign(cfg_.k, 0);
+}
+
+Proc& Network::proc(ProcId i) {
+  MCB_REQUIRE(i < procs_.size(), "processor index " << i << " of " << cfg_.p);
+  return *procs_[i];
+}
+
+void Network::install(ProcId i, ProcMain program) {
+  MCB_REQUIRE(i < procs_.size(), "processor index " << i << " of " << cfg_.p);
+  MCB_REQUIRE(!installed_[i], "P" << i + 1 << " already has a program");
+  MCB_REQUIRE(programs_.size() == static_cast<std::size_t>(
+                  std::count(installed_.begin(), installed_.end(), true)),
+              "programs/installed bookkeeping out of sync");
+  program.handle().promise().proc = procs_[i].get();
+  procs_[i]->resume_point_ = program.handle();
+  installed_[i] = true;
+  programs_.push_back(std::move(program));
+}
+
+void Network::resume_proc(Proc& pr) {
+  pr.resume_point_.resume();
+  if (pr.done_) {
+    --alive_;
+    // Surface any exception that escaped the program, annotated with the
+    // processor it came from.
+    for (auto& prog : programs_) {
+      if (prog.handle() && prog.handle().promise().proc == &pr) {
+        if (auto exc = prog.handle().promise().exception) {
+          std::rethrow_exception(exc);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Network::mark_phase(std::string name) {
+  finish_phase();
+  phase_name_ = std::move(name);
+  phase_start_cycle_ = now_;
+  phase_start_messages_ = stats_.messages;
+}
+
+void Network::finish_phase() {
+  if (phase_name_.empty()) return;
+  // Accumulate into an existing phase of the same name (phases that repeat,
+  // e.g. the selection filtering rounds, aggregate naturally).
+  for (auto& ph : stats_.phases) {
+    if (ph.name == phase_name_) {
+      ph.cycles += now_ - phase_start_cycle_;
+      ph.messages += stats_.messages - phase_start_messages_;
+      phase_name_.clear();
+      return;
+    }
+  }
+  stats_.phases.push_back(PhaseStats{phase_name_, phase_start_cycle_,
+                                     now_ - phase_start_cycle_,
+                                     stats_.messages - phase_start_messages_});
+  phase_name_.clear();
+}
+
+RunStats Network::run() {
+  MCB_REQUIRE(!ran_, "Network::run() is single-shot");
+  MCB_REQUIRE(std::all_of(installed_.begin(), installed_.end(),
+                          [](bool b) { return b; }),
+              "every processor needs a program before run()");
+  ran_ = true;
+
+  // Initial resume: run every program up to its first cycle boundary.
+  alive_ = cfg_.p;
+  for (auto& pr : procs_) {
+    if (!pr->done_) resume_proc(*pr);
+  }
+
+  while (alive_ > 0) {
+    if (now_ >= cfg_.max_cycles) {
+      throw ProtocolError("run exceeded max_cycles=" +
+                          std::to_string(cfg_.max_cycles) +
+                          " — deadlocked or runaway protocol");
+    }
+
+    // Step 1: writes. Collision check per the model.
+    for (auto& slot : slots_) slot.written = false;
+    for (auto& pr : procs_) {
+      if (pr->done_ || !pr->pending_write_) continue;
+      auto& slot = slots_[pr->pending_write_->channel];
+      if (slot.written) {
+        throw CollisionError(now_, pr->pending_write_->channel, slot.writer,
+                             pr->id_);
+      }
+      slot.written = true;
+      slot.writer = pr->id_;
+      slot.msg = pr->pending_write_->msg;
+      ++stats_.messages;
+      ++stats_.messages_per_proc[pr->id_];
+      ++stats_.messages_per_channel[pr->pending_write_->channel];
+    }
+
+    // Step 2: reads (concurrent reads allowed; silence is observable).
+    for (auto& pr : procs_) {
+      if (pr->done_) continue;
+      pr->read_result_.reset();
+      if (pr->pending_read_) {
+        const auto& slot = slots_[*pr->pending_read_];
+        if (slot.written) pr->read_result_ = slot.msg;
+      }
+      if (pr->pending_read_all_) {
+        pr->read_all_results_.assign(cfg_.k, std::nullopt);
+        for (std::size_t c = 0; c < cfg_.k; ++c) {
+          if (slots_[c].written) pr->read_all_results_[c] = slots_[c].msg;
+        }
+      }
+    }
+
+    if (sink_ != nullptr) {
+      for (auto& pr : procs_) {
+        if (pr->done_ || (!pr->pending_write_ && !pr->pending_read_)) continue;
+        CycleEvent ev;
+        ev.cycle = now_;
+        ev.proc = pr->id_;
+        if (pr->pending_write_) {
+          ev.wrote = pr->pending_write_->channel;
+          ev.sent = pr->pending_write_->msg;
+        }
+        ev.read = pr->pending_read_;
+        ev.received = pr->read_result_;
+        sink_->on_event(ev);
+      }
+    }
+
+    // Step 3: the cycle completes; resume local computation of every
+    // processor due this cycle (in processor order, for determinism).
+    ++now_;
+    for (auto& pr : procs_) {
+      if (pr->done_ || pr->wake_cycle_ > now_) continue;
+      pr->pending_write_.reset();
+      pr->pending_read_.reset();
+      pr->pending_read_all_ = false;
+      resume_proc(*pr);
+    }
+  }
+
+  finish_phase();
+  stats_.cycles = now_;
+  stats_.peak_aux_words.resize(cfg_.p);
+  for (std::size_t i = 0; i < cfg_.p; ++i) {
+    stats_.peak_aux_words[i] = procs_[i]->peak_aux_words_;
+  }
+  return stats_;
+}
+
+}  // namespace mcb

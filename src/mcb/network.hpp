@@ -1,0 +1,90 @@
+// The MCB(p, k) network simulator.
+//
+// Faithful to Section 2 of the paper: computation proceeds in globally
+// synchronous cycles; during each cycle every processor may write one
+// channel and read one channel, then perform arbitrary local computation.
+// Channels are memoryless slots of width one cycle: a message is observed
+// only by processors reading that channel in that same cycle; a read of a
+// channel nobody wrote yields detectable silence. Two writers on one channel
+// in one cycle is a collision and aborts the run with CollisionError.
+//
+// Complexity accounting is exact: `cycles` counts synchronous rounds until
+// every program has completed, `messages` counts channel writes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcb/coro.hpp"
+#include "mcb/errors.hpp"
+#include "mcb/proc.hpp"
+#include "mcb/sim_config.hpp"
+#include "mcb/stats.hpp"
+#include "mcb/trace.hpp"
+
+namespace mcb {
+
+class Network {
+ public:
+  /// Creates the network with all p processor contexts; programs are
+  /// attached afterwards with install(). `sink` may be nullptr.
+  explicit Network(SimConfig cfg, TraceSink* sink = nullptr);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const SimConfig& config() const { return cfg_; }
+
+  /// Processor context i, used to create its program:
+  ///   net.install(i, my_protocol(net.proc(i), args...));
+  Proc& proc(ProcId i);
+
+  /// Attaches a program to processor i. Every processor must have exactly
+  /// one program installed before run().
+  void install(ProcId i, ProcMain program);
+
+  /// Runs to quiescence (all programs complete) and returns the statistics.
+  /// Throws CollisionError / ProtocolError on model violations, and
+  /// propagates any exception escaping a processor program. Single-shot.
+  RunStats run();
+
+  /// Completed cycles (valid during a run; queried by Proc::now()).
+  Cycle now() const { return now_; }
+
+  /// Starts a named accounting phase at the current cycle.
+  void mark_phase(std::string name);
+
+ private:
+  friend class Proc;
+  friend struct Proc::CycleAwaiter;
+  friend struct Proc::SkipAwaiter;
+
+  void resume_proc(Proc& pr);
+  void finish_phase();
+
+  SimConfig cfg_;
+  TraceSink* sink_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<ProcMain> programs_;  // parallel to procs_; keeps frames alive
+  std::vector<bool> installed_;
+
+  // Channel state for the cycle in flight: who wrote, and what.
+  struct Slot {
+    bool written = false;
+    ProcId writer = 0;
+    Message msg;
+  };
+  std::vector<Slot> slots_;
+
+  Cycle now_ = 0;
+  std::size_t alive_ = 0;
+  bool ran_ = false;
+
+  RunStats stats_;
+  std::string phase_name_;
+  Cycle phase_start_cycle_ = 0;
+  std::uint64_t phase_start_messages_ = 0;
+};
+
+}  // namespace mcb

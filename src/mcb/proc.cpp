@@ -1,0 +1,92 @@
+#include "mcb/proc.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mcb/network.hpp"
+#include "util/check.hpp"
+
+namespace mcb {
+
+std::size_t Proc::p() const { return net_->config().p; }
+std::size_t Proc::k() const { return net_->config().k; }
+Cycle Proc::now() const { return net_->now(); }
+
+Proc::CycleAwaiter Proc::cycle(std::optional<WriteOp> write,
+                               std::optional<ChannelId> read) {
+  if (write) {
+    MCB_REQUIRE(write->channel < k(), "P" << id_ + 1 << " writing channel "
+                                          << write->channel << " of " << k());
+  }
+  if (read) {
+    MCB_REQUIRE(*read < k(), "P" << id_ + 1 << " reading channel " << *read
+                                 << " of " << k());
+  }
+  pending_write_ = std::move(write);
+  pending_read_ = read;
+  return CycleAwaiter{*this};
+}
+
+Proc::CycleAwaiter Proc::write(ChannelId ch, Message m) {
+  return cycle(WriteOp{ch, std::move(m)}, std::nullopt);
+}
+
+Proc::CycleAwaiter Proc::read(ChannelId ch) { return cycle(std::nullopt, ch); }
+
+Proc::CycleAwaiter Proc::write_read(ChannelId wch, Message m, ChannelId rch) {
+  return cycle(WriteOp{wch, std::move(m)}, rch);
+}
+
+Proc::CycleAwaiter Proc::step() { return cycle(std::nullopt, std::nullopt); }
+
+Proc::SkipAwaiter Proc::skip(Cycle t) { return SkipAwaiter{*this, t}; }
+
+Proc::MultiReadAwaiter Proc::cycle_all(std::optional<WriteOp> write) {
+  MCB_REQUIRE(net_->config().multi_read,
+              "cycle_all requires SimConfig::multi_read (the Section 9 "
+              "model extension)");
+  if (write) {
+    MCB_REQUIRE(write->channel < k(), "P" << id_ + 1 << " writing channel "
+                                          << write->channel << " of " << k());
+  }
+  pending_write_ = std::move(write);
+  pending_read_.reset();
+  pending_read_all_ = true;
+  return MultiReadAwaiter{*this};
+}
+
+void Proc::note_aux(std::size_t words) {
+  peak_aux_words_ = std::max(peak_aux_words_, words);
+}
+
+void Proc::mark_phase(std::string name) { net_->mark_phase(std::move(name)); }
+
+void Proc::CycleAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  proc.resume_point_ = h;
+  proc.wake_cycle_ = proc.net_->now() + 1;
+}
+
+Proc::ReadResult Proc::CycleAwaiter::await_resume() const noexcept {
+  return std::move(proc.read_result_);
+}
+
+void Proc::SkipAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
+  proc.pending_write_.reset();
+  proc.pending_read_.reset();
+  proc.pending_read_all_ = false;
+  proc.resume_point_ = h;
+  proc.wake_cycle_ = proc.net_->now() + t;
+}
+
+void Proc::MultiReadAwaiter::await_suspend(
+    std::coroutine_handle<> h) noexcept {
+  proc.resume_point_ = h;
+  proc.wake_cycle_ = proc.net_->now() + 1;
+}
+
+std::vector<Proc::ReadResult> Proc::MultiReadAwaiter::await_resume()
+    const noexcept {
+  return std::move(proc.read_all_results_);
+}
+
+}  // namespace mcb

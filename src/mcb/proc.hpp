@@ -1,0 +1,135 @@
+// Per-processor context: the API that processor programs use to interact
+// with the network, one synchronous cycle at a time.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcb/coro.hpp"
+#include "mcb/message.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb {
+
+class Network;
+
+/// A channel write intent for the coming cycle.
+struct WriteOp {
+  ChannelId channel = 0;
+  Message msg;
+};
+
+class Proc {
+ public:
+  /// The result of a cycle from this processor's point of view: the message
+  /// observed on the channel it read, or nullopt on silence / no read.
+  using ReadResult = std::optional<Message>;
+
+  ProcId id() const { return id_; }
+  std::size_t p() const;  ///< processors in the network
+  std::size_t k() const;  ///< channels in the network
+
+  /// Number of network cycles completed so far.
+  Cycle now() const;
+
+  // --- cycle operations (awaitable; each consumes exactly one cycle) -----
+
+  /// Full generality: optionally write one channel and read one channel.
+  /// Yields the message read (nullopt on silence or when not reading).
+  struct CycleAwaiter;
+  CycleAwaiter cycle(std::optional<WriteOp> write,
+                     std::optional<ChannelId> read);
+
+  CycleAwaiter write(ChannelId ch, Message m);
+  CycleAwaiter read(ChannelId ch);
+  CycleAwaiter write_read(ChannelId wch, Message m, ChannelId rch);
+  CycleAwaiter step();  ///< participate in a cycle doing nothing
+
+  /// Sleep for `t >= 1` cycles without being rescheduled (equivalent to t
+  /// consecutive step()s but O(1) simulation work). Used for the paper's
+  /// "wait your turn by counting cycles" synchronization.
+  struct SkipAwaiter;
+  SkipAwaiter skip(Cycle t);
+
+  /// Section 9 extension (requires SimConfig::multi_read): optionally write
+  /// one channel and read EVERY channel this cycle. Yields one ReadResult
+  /// per channel.
+  struct MultiReadAwaiter;
+  MultiReadAwaiter cycle_all(std::optional<WriteOp> write);
+
+  // --- accounting helpers ------------------------------------------------
+
+  /// Reports this processor's current auxiliary storage in words; the run
+  /// statistics record the maximum. Used to validate the O(1)/O(n) memory
+  /// claims of Section 6.1.
+  void note_aux(std::size_t words);
+
+  /// Marks the start of a named algorithm phase (records global cycle and
+  /// message counters). By convention only processor 0 calls this.
+  void mark_phase(std::string name);
+
+  // --- awaiters -----------------------------------------------------------
+
+  struct CycleAwaiter {
+    Proc& proc;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    ReadResult await_resume() const noexcept;
+  };
+
+  struct SkipAwaiter {
+    Proc& proc;
+    Cycle t;
+    bool await_ready() const noexcept { return t == 0; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  struct MultiReadAwaiter {
+    Proc& proc;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) noexcept;
+    std::vector<ReadResult> await_resume() const noexcept;
+  };
+
+ private:
+  friend class Network;
+  friend struct ProcMain::promise_type::FinalAwaiter;
+
+  Proc(Network& net, ProcId id) : net_(&net), id_(id) {}
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  void mark_done() { done_ = true; }
+
+  Network* net_;
+  ProcId id_;
+
+  // Scheduling state owned by the Network.
+  std::coroutine_handle<> resume_point_;  ///< innermost suspended coroutine
+  bool done_ = false;
+  Cycle wake_cycle_ = 0;
+
+  // Per-cycle intents and results.
+  std::optional<WriteOp> pending_write_;
+  std::optional<ChannelId> pending_read_;
+  bool pending_read_all_ = false;
+  ReadResult read_result_;
+  std::vector<ReadResult> read_all_results_;
+
+  std::size_t peak_aux_words_ = 0;
+};
+
+inline std::coroutine_handle<>
+ProcMain::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  if (h.promise().proc != nullptr) {
+    h.promise().proc->mark_done();
+  }
+  return std::noop_coroutine();
+}
+
+}  // namespace mcb

@@ -1,0 +1,34 @@
+// Network configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace mcb {
+
+/// Static description of an MCB(p, k): p processors and k broadcast
+/// channels, with k <= p (Section 2 of the paper).
+struct SimConfig {
+  std::size_t p = 0;  ///< processor count
+  std::size_t k = 0;  ///< channel count
+
+  /// Safety valve: a run exceeding this many cycles aborts with
+  /// ProtocolError (deadlocked schedules would otherwise spin forever).
+  std::size_t max_cycles = 1u << 28;
+
+  /// Section 9 extension: allow a processor to read ALL channels in one
+  /// cycle (Proc::cycle_all). Off by default — the standard MCB model
+  /// permits one read per cycle, and the paper's algorithms never need
+  /// more; the flag exists to study the extension.
+  bool multi_read = false;
+
+  void validate() const {
+    MCB_REQUIRE(p >= 1, "need at least one processor");
+    MCB_REQUIRE(k >= 1, "need at least one channel");
+    MCB_REQUIRE(k <= p, "MCB model requires k <= p (k=" << k << ", p=" << p
+                                                        << ")");
+  }
+};
+
+}  // namespace mcb

@@ -1,0 +1,25 @@
+#include "mcb/stats.hpp"
+
+#include <sstream>
+
+namespace mcb {
+
+const PhaseStats* RunStats::phase(const std::string& name) const {
+  for (const auto& ph : phases) {
+    if (ph.name == name) return &ph;
+  }
+  return nullptr;
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << "cycles=" << cycles << " messages=" << messages
+     << " peak_aux_words=" << max_peak_aux() << '\n';
+  for (const auto& ph : phases) {
+    os << "  phase " << ph.name << ": cycles=" << ph.cycles
+       << " messages=" << ph.messages << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mcb

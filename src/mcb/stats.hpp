@@ -1,0 +1,46 @@
+// Run statistics: the two complexity measures of the MCB model (cycles and
+// messages), broken down per processor, per channel and per named algorithm
+// phase, plus auxiliary-storage accounting used to validate the memory
+// claims of Section 6.1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mcb/types.hpp"
+
+namespace mcb {
+
+/// Accounting for one named span of cycles (e.g. "transpose", "phase 0").
+struct PhaseStats {
+  std::string name;
+  Cycle first_cycle = 0;   ///< first cycle belonging to the phase
+  Cycle cycles = 0;        ///< number of cycles spanned
+  std::uint64_t messages = 0;
+};
+
+struct RunStats {
+  Cycle cycles = 0;              ///< total cycles until quiescence
+  std::uint64_t messages = 0;    ///< total broadcasts (channel writes)
+  std::vector<std::uint64_t> messages_per_proc;
+  std::vector<std::uint64_t> messages_per_channel;
+  std::vector<std::size_t> peak_aux_words;  ///< per-proc max noted storage
+  std::vector<PhaseStats> phases;
+
+  /// Largest per-processor auxiliary storage over the whole run.
+  std::size_t max_peak_aux() const {
+    std::size_t m = 0;
+    for (std::size_t v : peak_aux_words) m = m > v ? m : v;
+    return m;
+  }
+
+  /// Finds a phase by name; nullptr if absent. Phases with duplicate names
+  /// are accumulated into the first occurrence when recorded.
+  const PhaseStats* phase(const std::string& name) const;
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace mcb

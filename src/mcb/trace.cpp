@@ -1,0 +1,42 @@
+#include "mcb/trace.hpp"
+
+#include <sstream>
+
+namespace mcb {
+
+void ChannelTrace::on_event(const CycleEvent& ev) {
+  if (events_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+std::string ChannelTrace::render(std::size_t num_channels) const {
+  std::ostringstream os;
+  Cycle current = ~Cycle{0};
+  for (const auto& ev : events_) {
+    if (ev.cycle != current) {
+      current = ev.cycle;
+      os << "cycle " << current << ":\n";
+    }
+    if (ev.wrote) {
+      os << "  P" << ev.proc + 1 << " -> C" << *ev.wrote + 1 << ' '
+         << *ev.sent << '\n';
+    }
+    if (ev.read) {
+      os << "  P" << ev.proc + 1 << " <- C" << *ev.read + 1 << ' ';
+      if (ev.received) {
+        os << *ev.received;
+      } else {
+        os << "(silence)";
+      }
+      os << '\n';
+    }
+  }
+  if (truncated_) os << "... (trace truncated)\n";
+  (void)num_channels;
+  return os.str();
+}
+
+}  // namespace mcb

@@ -1,0 +1,56 @@
+// Cycle-by-cycle observation of network activity.
+//
+// A TraceSink receives one event per cycle describing every write and read
+// that occurred. The default sink is null (zero overhead beyond a branch);
+// the bundled ChannelTrace collects a bounded in-memory log used by the
+// trace_visualizer example and by tests that assert on exact schedules.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcb/message.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb {
+
+/// One processor's channel activity in one cycle.
+struct CycleEvent {
+  Cycle cycle = 0;
+  ProcId proc = 0;
+  std::optional<ChannelId> wrote;    ///< channel written, if any
+  std::optional<Message> sent;       ///< the message written
+  std::optional<ChannelId> read;     ///< channel read, if any
+  std::optional<Message> received;   ///< message observed (nullopt = silence)
+};
+
+/// Observer interface. Implementations must not mutate the network.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const CycleEvent& ev) = 0;
+};
+
+/// Records events up to a capacity cap (drops silently beyond it to keep
+/// long benchmark runs bounded); renders a per-cycle channel map.
+class ChannelTrace final : public TraceSink {
+ public:
+  explicit ChannelTrace(std::size_t capacity = 1u << 16)
+      : capacity_(capacity) {}
+
+  void on_event(const CycleEvent& ev) override;
+
+  const std::vector<CycleEvent>& events() const { return events_; }
+  bool truncated() const { return truncated_; }
+
+  /// "cycle 3: P2 -> C1 [42]; P4 reads C1" style rendering.
+  std::string render(std::size_t num_channels) const;
+
+ private:
+  std::size_t capacity_;
+  bool truncated_ = false;
+  std::vector<CycleEvent> events_;
+};
+
+}  // namespace mcb

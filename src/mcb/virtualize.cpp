@@ -1,0 +1,220 @@
+#include "mcb/virtualize.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mcb {
+
+VirtualCost virtualization_cost(const SimConfig& real, const SimConfig& virt,
+                                const RunStats& virtual_stats) {
+  real.validate();
+  virt.validate();
+  MCB_REQUIRE(real.p <= virt.p && real.k <= virt.k,
+              "real MCB(" << real.p << "," << real.k
+                          << ") must be no larger than virtual MCB("
+                          << virt.p << "," << virt.k << ")");
+  VirtualCost cost;
+  cost.hosts = (virt.p + real.p - 1) / real.p;
+  cost.channel_mux = (virt.k + real.k - 1) / real.k;
+  // h*h*c subrounds per virtual cycle; each virtual message is repeated
+  // once per reader slot (h copies).
+  cost.real_cycles = virtual_stats.cycles *
+                     static_cast<Cycle>(cost.hosts * cost.hosts *
+                                        cost.channel_mux);
+  cost.real_messages =
+      virtual_stats.messages * static_cast<std::uint64_t>(cost.hosts);
+  return cost;
+}
+
+namespace {
+
+/// Compact record of one virtual cycle: what each virtual channel carried
+/// (and who wrote it), and which channel each virtual processor read.
+struct CycleRecord {
+  std::vector<std::optional<Message>> channel;  ///< size virt.k
+  std::vector<ProcId> writer;                   ///< writer per channel
+  std::vector<std::int32_t> read_ch;            ///< per vproc; -1 = no read
+};
+
+/// Recorder sink building CycleRecords from the virtual run.
+class Recorder final : public TraceSink {
+ public:
+  Recorder(std::size_t vp, std::size_t vk) : vp_(vp), vk_(vk) {}
+
+  void on_event(const CycleEvent& ev) override {
+    while (cycles_.size() <= ev.cycle) {
+      CycleRecord rec;
+      rec.channel.resize(vk_);
+      rec.writer.resize(vk_, 0);
+      rec.read_ch.assign(vp_, -1);
+      cycles_.push_back(std::move(rec));
+    }
+    auto& rec = cycles_[ev.cycle];
+    if (ev.wrote) {
+      rec.channel[*ev.wrote] = *ev.sent;
+      rec.writer[*ev.wrote] = ev.proc;
+    }
+    if (ev.read) {
+      rec.read_ch[ev.proc] = static_cast<std::int32_t>(*ev.read);
+    }
+  }
+
+  std::vector<CycleRecord> cycles_;
+
+ private:
+  std::size_t vp_;
+  std::size_t vk_;
+};
+
+/// Everything the relay processors share.
+struct RelayState {
+  const std::vector<CycleRecord>* cycles = nullptr;
+  std::size_t vp = 0, vk = 0;  ///< virtual dimensions
+  std::size_t h = 0, c = 0;    ///< hosts per real proc, channels per real ch
+  std::size_t rk = 0;          ///< real channel count
+  /// Observed delivery per (virtual cycle, virtual reader): filled by the
+  /// relays, compared against the virtual run afterwards.
+  std::vector<std::optional<Message>> actual;
+  bool mismatch = false;
+};
+
+/// The relay program for real processor `me`: walks every subround
+/// (vcycle, u_w, u_r, b) and performs the host's share of the schedule.
+ProcMain relay_program(Proc& self, RelayState& st) {
+  const std::size_t me = self.id();
+  for (std::size_t vc = 0; vc < st.cycles->size(); ++vc) {
+    const auto& rec = (*st.cycles)[vc];
+    for (std::size_t u_w = 0; u_w < st.h; ++u_w) {
+      for (std::size_t u_r = 0; u_r < st.h; ++u_r) {
+        for (std::size_t b = 0; b < st.c; ++b) {
+          // Writer role: my slot-u_w virtual processor rebroadcasts its
+          // message if it wrote a block-b channel this virtual cycle.
+          std::optional<WriteOp> write;
+          const std::size_t vw = me * st.h + u_w;
+          if (vw < st.vp) {
+            for (std::size_t ch = b * st.rk;
+                 ch < std::min((b + 1) * st.rk, st.vk); ++ch) {
+              if (rec.channel[ch] && rec.writer[ch] == vw) {
+                write = WriteOp{static_cast<ChannelId>(ch % st.rk),
+                                *rec.channel[ch]};
+                break;  // a virtual processor writes at most one channel
+              }
+            }
+          }
+          // Reader role: my slot-u_r virtual processor listens for its
+          // requested channel if it is in block b.
+          std::optional<ChannelId> read;
+          std::size_t verify_slot = SIZE_MAX;
+          bool local = false;
+          const std::size_t vr = me * st.h + u_r;
+          if (vr < st.vp && rec.read_ch[vr] >= 0) {
+            const auto vch = static_cast<std::size_t>(rec.read_ch[vr]);
+            if (vch / st.rk == b) {
+              verify_slot = vc * st.vp + vr;
+              const auto rch = static_cast<ChannelId>(vch % st.rk);
+              if (write && write->channel == rch) {
+                // I am rebroadcasting the very channel my reader wants:
+                // deliver locally instead of reading my own write (the
+                // model separates the write and read ports).
+                local = true;
+              } else {
+                read = rch;
+              }
+            }
+          }
+          auto got = co_await self.cycle(write, read);
+          if (verify_slot != SIZE_MAX) {
+            std::optional<Message> delivered;
+            if (local) {
+              delivered = write->msg;
+            } else if (got) {
+              delivered = *got;
+            }
+            if (delivered) {
+              auto& slot = st.actual[verify_slot];
+              if (slot.has_value() && !(*slot == *delivered)) {
+                st.mismatch = true;  // two subrounds delivered differently
+              }
+              slot = delivered;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VirtualizedRunResult run_virtualized(
+    const SimConfig& real, const SimConfig& virt,
+    const std::function<void(Network&)>& install) {
+  real.validate();
+  virt.validate();
+  MCB_REQUIRE(real.p <= virt.p && real.k <= virt.k,
+              "real MCB(" << real.p << "," << real.k
+                          << ") must be no larger than virtual MCB("
+                          << virt.p << "," << virt.k << ")");
+  MCB_REQUIRE(virt.p % real.p == 0 && virt.k % real.k == 0,
+              "hosted execution needs real.p | virt.p and real.k | virt.k");
+
+  VirtualizedRunResult result;
+
+  // 1. Run the virtual network, recording every cycle's traffic.
+  Recorder recorder(virt.p, virt.k);
+  Network vnet(virt, &recorder);
+  install(vnet);
+  result.virtual_stats = vnet.run();
+  // Pad the record to the full run length (trailing quiet cycles still cost
+  // subrounds on the hosted machine — the schedule is non-adaptive).
+  if (result.virtual_stats.cycles > 0) {
+    CycleEvent pad;
+    pad.cycle = result.virtual_stats.cycles - 1;
+    recorder.on_event(pad);
+  }
+
+  // 2. Replay on the real network through relay processors.
+  RelayState st;
+  st.cycles = &recorder.cycles_;
+  st.vp = virt.p;
+  st.vk = virt.k;
+  st.h = virt.p / real.p;
+  st.c = virt.k / real.k;
+  st.rk = real.k;
+  st.actual.assign(recorder.cycles_.size() * virt.p, std::nullopt);
+
+  Network rnet(real);
+  for (ProcId i = 0; i < real.p; ++i) {
+    rnet.install(i, relay_program(rnet.proc(i), st));
+  }
+  result.real_stats = rnet.run();
+
+  // 3. Verify every virtual delivery against the hosted execution.
+  MCB_CHECK(!st.mismatch, "conflicting deliveries in the hosted run");
+  for (std::size_t vc = 0; vc < recorder.cycles_.size(); ++vc) {
+    const auto& rec = recorder.cycles_[vc];
+    for (std::size_t v = 0; v < virt.p; ++v) {
+      if (rec.read_ch[v] < 0) continue;
+      const auto& expect =
+          rec.channel[static_cast<std::size_t>(rec.read_ch[v])];
+      const auto& got = st.actual[vc * virt.p + v];
+      MCB_CHECK(expect == got, "hosted delivery mismatch at virtual cycle "
+                                   << vc << ", P" << v + 1);
+    }
+  }
+
+  result.predicted = virtualization_cost(real, virt, result.virtual_stats);
+  MCB_CHECK(result.real_stats.cycles == result.predicted.real_cycles,
+            "hosted cycles " << result.real_stats.cycles
+                             << " != predicted "
+                             << result.predicted.real_cycles);
+  MCB_CHECK(result.real_stats.messages == result.predicted.real_messages,
+            "hosted messages " << result.real_stats.messages
+                               << " != predicted "
+                               << result.predicted.real_messages);
+  return result;
+}
+
+}  // namespace mcb

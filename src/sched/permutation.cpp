@@ -1,0 +1,110 @@
+#include "sched/permutation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mcb::sched {
+
+const char* to_string(Transform t) {
+  switch (t) {
+    case Transform::kTranspose: return "transpose";
+    case Transform::kUndiagonalize: return "un-diagonalize";
+    case Transform::kUpShift: return "up-shift";
+    case Transform::kDownShift: return "down-shift";
+    case Transform::kUntranspose: return "untranspose";
+  }
+  return "?";
+}
+
+namespace {
+
+// Number of matrix entries on anti-diagonals 0..d-1 of an m x k matrix
+// (diagonal d holds entries with c + r == d).
+std::size_t diag_prefix(std::size_t d, std::size_t m, std::size_t k) {
+  std::size_t count = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::size_t lo = j >= m ? j - (m - 1) : 0;  // min column on diag j
+    const std::size_t hi = std::min(k - 1, j);        // max column on diag j
+    if (hi >= lo) count += hi - lo + 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::size_t transform_index(Transform t, std::size_t ell, std::size_t m,
+                            std::size_t k) {
+  const std::size_t n = m * k;
+  MCB_REQUIRE(ell < n, "index " << ell << " out of " << n);
+  const std::size_t c = ell / m;
+  const std::size_t r = ell % m;
+  switch (t) {
+    case Transform::kTranspose: {
+      MCB_REQUIRE(m % k == 0, "transpose requires k | m (m=" << m
+                                                             << ", k=" << k
+                                                             << ")");
+      // Read column-major (order = ell), write row-major: destination cell
+      // (row ell/k, column ell%k) expressed back in column-major.
+      return (ell % k) * m + ell / k;
+    }
+    case Transform::kUndiagonalize: {
+      // Read diagonal-major — diagonal d = c + r, within a diagonal by
+      // descending column — write column-major: the element's position in
+      // the diagonal enumeration IS its destination linear index.
+      const std::size_t d = c + r;
+      const std::size_t hi = std::min(k - 1, d);  // first column emitted
+      return diag_prefix(d, m, k) + (hi - c);
+    }
+    case Transform::kUpShift:
+      return (ell + m / 2) % n;
+    case Transform::kDownShift:
+      return (ell + n - m / 2) % n;
+    case Transform::kUntranspose: {
+      MCB_REQUIRE(m % k == 0, "untranspose requires k | m (m=" << m
+                                                               << ", k=" << k
+                                                               << ")");
+      // Read row-major, write column-major: the inverse of kTranspose.
+      return r * k + c;
+    }
+  }
+  MCB_CHECK(false, "unreachable");
+  return 0;
+}
+
+std::vector<std::uint32_t> permutation_table(Transform t, std::size_t m,
+                                             std::size_t k) {
+  const std::size_t n = m * k;
+  MCB_REQUIRE(n <= UINT32_MAX, "matrix too large for a u32 table");
+  std::vector<std::uint32_t> table(n);
+  if (t == Transform::kUndiagonalize) {
+    // Build by walking the diagonal enumeration once: O(n) instead of the
+    // O(n (m+k)) of calling transform_index per element.
+    std::uint32_t pos = 0;
+    for (std::size_t d = 0; d <= (m - 1) + (k - 1); ++d) {
+      const std::size_t lo = d >= m ? d - (m - 1) : 0;
+      const std::size_t hi = std::min(k - 1, d);
+      for (std::size_t c = hi + 1; c-- > lo;) {  // descending column order
+        const std::size_t r = d - c;
+        table[c * m + r] = pos++;
+      }
+    }
+    MCB_CHECK(pos == n, "diagonal enumeration covered " << pos << " of " << n);
+    return table;
+  }
+  for (std::size_t ell = 0; ell < n; ++ell) {
+    table[ell] = static_cast<std::uint32_t>(transform_index(t, ell, m, k));
+  }
+  return table;
+}
+
+bool is_permutation_table(const std::vector<std::uint32_t>& table) {
+  std::vector<bool> seen(table.size(), false);
+  for (auto v : table) {
+    if (v >= table.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace mcb::sched

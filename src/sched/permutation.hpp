@@ -1,0 +1,45 @@
+// The four Columnsort matrix transformations as explicit permutations.
+//
+// Section 5.1 of the paper defines Transpose, Un-Diagonalize, Up-Shift and
+// Down-Shift on an m x k matrix (m rows, k columns, column-major). Both the
+// in-memory reference Columnsort (seq/columnsort) and the MCB broadcast
+// schedules (sched/schedule) are driven from the same index maps defined
+// here, so they cannot drift apart.
+//
+// Conventions: 0-based (row r, column c); column-major linear index
+// ell = c*m + r. All maps send SOURCE linear index to DESTINATION linear
+// index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcb::sched {
+
+enum class Transform {
+  kTranspose,      ///< read column-major, store row-major
+  kUndiagonalize,  ///< read diagonal-major, store column-major
+  kUpShift,        ///< circular shift by +floor(m/2) in column-major order
+  kDownShift,      ///< circular shift by -floor(m/2) in column-major order
+  kUntranspose,    ///< read row-major, store column-major (the inverse of
+                   ///< kTranspose — Leighton's original step 4, kept as an
+                   ///< ablation against the paper's kUndiagonalize)
+};
+
+const char* to_string(Transform t);
+
+/// Destination linear index of the element at source linear index `ell`.
+/// Requires k | m for kTranspose (the paper's standing assumption) and
+/// ell < m*k.
+std::size_t transform_index(Transform t, std::size_t ell, std::size_t m,
+                            std::size_t k);
+
+/// Full permutation table: table[src] = dst. O(m*k) time and space.
+std::vector<std::uint32_t> permutation_table(Transform t, std::size_t m,
+                                             std::size_t k);
+
+/// True iff `table` is a permutation of 0..table.size()-1.
+bool is_permutation_table(const std::vector<std::uint32_t>& table);
+
+}  // namespace mcb::sched

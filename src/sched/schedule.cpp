@@ -1,0 +1,114 @@
+#include "sched/schedule.hpp"
+
+#include "util/check.hpp"
+
+namespace mcb::sched {
+
+std::uint64_t TransferPlan::messages() const {
+  std::uint64_t total = 0;
+  for (const auto& round : rounds) {
+    for (auto d : round.dst) {
+      if (d != kIdle) ++total;
+    }
+  }
+  return total;
+}
+
+TransferPlan plan_transform(Transform t, std::size_t m, std::size_t k,
+                            const std::vector<std::uint32_t>* table_in) {
+  MCB_REQUIRE(m >= 1 && k >= 1, "m=" << m << " k=" << k);
+  std::vector<std::uint32_t> local_table;
+  if (table_in == nullptr) {
+    local_table = permutation_table(t, m, k);
+    table_in = &local_table;
+  }
+  const auto& table = *table_in;
+
+  // Cross-column transfer counts (intra-column moves are local).
+  CountMatrix counts(k, std::vector<std::uint64_t>(k, 0));
+  for (std::size_t ell = 0; ell < m * k; ++ell) {
+    const std::size_t c = ell / m;
+    const std::size_t cd = table[ell] / m;
+    if (c != cd) ++counts[c][cd];
+  }
+
+  const auto dummy = pad_to_regular(counts);
+  CountMatrix padded = counts;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) padded[i][j] += dummy[i][j];
+  }
+
+  TransferPlan plan;
+  plan.transform = t;
+  plan.m = m;
+  plan.k = k;
+  if (max_degree(counts) == 0) return plan;  // fully intra-column
+
+  // Emit rounds from the decomposition. For each (c, c') pair the first
+  // counts[c][c'] occurrences across the round sequence are real sends and
+  // the rest are padding (idle). Senders and receivers replay the same
+  // deterministic assignment.
+  CountMatrix real_left = counts;
+  for (const auto& term : birkhoff_decompose(padded)) {
+    for (std::uint64_t rep = 0; rep < term.count; ++rep) {
+      Round round;
+      round.dst.assign(k, kIdle);
+      round.src.assign(k, kIdle);
+      bool any = false;
+      for (std::size_t c = 0; c < k; ++c) {
+        const std::uint32_t cd = term.perm[c];
+        if (cd == c) continue;  // self-edges only arise as padding
+        if (real_left[c][cd] > 0) {
+          --real_left[c][cd];
+          round.dst[c] = cd;
+          round.src[cd] = static_cast<std::uint32_t>(c);
+          any = true;
+        }
+      }
+      if (any) plan.rounds.push_back(std::move(round));
+    }
+  }
+  // Every real transfer must be scheduled.
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t cd = 0; cd < k; ++cd) {
+      MCB_CHECK(real_left[c][cd] == 0,
+                "unscheduled transfers " << real_left[c][cd] << " for "
+                                         << c << "->" << cd);
+    }
+  }
+  return plan;
+}
+
+bool plan_is_valid(const TransferPlan& plan,
+                   const std::vector<std::uint32_t>& table) {
+  const std::size_t k = plan.k;
+  const std::size_t m = plan.m;
+  CountMatrix want(k, std::vector<std::uint64_t>(k, 0));
+  for (std::size_t ell = 0; ell < m * k; ++ell) {
+    const std::size_t c = ell / m;
+    const std::size_t cd = table[ell] / m;
+    if (c != cd) ++want[c][cd];
+  }
+  CountMatrix got(k, std::vector<std::uint64_t>(k, 0));
+  for (const auto& round : plan.rounds) {
+    if (round.dst.size() != k || round.src.size() != k) return false;
+    std::vector<bool> dst_used(k, false);
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto d = round.dst[c];
+      if (d == kIdle) continue;
+      if (d >= k || d == c) return false;
+      if (dst_used[d]) return false;  // two senders to one receiver
+      dst_used[d] = true;
+      if (round.src[d] != c) return false;  // src must invert dst
+      ++got[c][d];
+    }
+    for (std::size_t cd = 0; cd < k; ++cd) {
+      if (round.src[cd] != kIdle && round.dst[round.src[cd]] != cd) {
+        return false;
+      }
+    }
+  }
+  return got == want;
+}
+
+}  // namespace mcb::sched

@@ -1,0 +1,265 @@
+#include "se/shout_echo.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "algo/common.hpp"
+#include "seq/selection.hpp"
+#include "seq/sorting.hpp"
+#include "util/check.hpp"
+
+namespace mcb::se {
+
+ShoutEchoNet::ShoutEchoNet(std::size_t p) : p_(p) {
+  MCB_REQUIRE(p >= 1, "need at least one processor");
+}
+
+std::vector<Message> ShoutEchoNet::shout(std::size_t shouter,
+                                         const Message& msg,
+                                         const EchoFn& echo) {
+  MCB_REQUIRE(shouter < p_, "shouter " << shouter << " of " << p_);
+  ++stats_.activities;
+  stats_.messages += 1 + (p_ - 1);  // the shout plus one echo from each
+  std::vector<Message> echoes(p_);
+  for (std::size_t i = 0; i < p_; ++i) {
+    if (i == shouter) continue;
+    echoes[i] = echo(i, msg);
+  }
+  return echoes;
+}
+
+namespace {
+
+// Shout opcodes (first message word).
+enum Op : Word {
+  kReport = 1,     ///< reply with (median, count) of your candidates
+  kPurgeLe = 2,    ///< purge candidates <= arg, then report
+  kPurgeGe = 3,    ///< purge candidates >= arg, then report
+  kCountGe = 4,    ///< reply with #candidates >= arg
+  kFetch = 5,      ///< args (proc, index): that processor replies with its
+                   ///< index-th candidate
+  kDone = 6,       ///< selection finished; arg is the answer
+};
+
+struct ProcState {
+  std::vector<Word> cands;
+};
+
+Message pair_report(ProcState& st) {
+  if (st.cands.empty()) return Message::of(algo::kDummy, Word{0});
+  std::vector<Word> tmp = st.cands;
+  const Word med = seq::median(tmp);
+  return Message::of(med, static_cast<Word>(st.cands.size()));
+}
+
+}  // namespace
+
+SESelectionResult se_select_rank(const std::vector<std::vector<Word>>& inputs,
+                                 std::size_t d) {
+  const std::size_t p = inputs.size();
+  MCB_REQUIRE(p >= 1, "no processors");
+  std::size_t n = 0;
+  for (const auto& in : inputs) {
+    MCB_REQUIRE(!in.empty(), "every processor needs at least one element");
+    n += in.size();
+  }
+  MCB_REQUIRE(1 <= d && d <= n, "rank " << d << " of " << n);
+
+  ShoutEchoNet net(p);
+  std::vector<ProcState> state(p);
+  for (std::size_t i = 0; i < p; ++i) state[i].cands = inputs[i];
+
+  auto handler = [&state](std::size_t proc, const Message& m) -> Message {
+    auto& st = state[proc];
+    switch (m.at(0)) {
+      case kReport:
+        return pair_report(st);
+      case kPurgeLe:
+        std::erase_if(st.cands, [&](Word w) { return w <= m.at(1); });
+        return pair_report(st);
+      case kPurgeGe:
+        std::erase_if(st.cands, [&](Word w) { return w >= m.at(1); });
+        return pair_report(st);
+      case kCountGe: {
+        Word c = 0;
+        for (Word w : st.cands) {
+          if (w >= m.at(1)) ++c;
+        }
+        return Message::of(c);
+      }
+      case kFetch:
+        if (static_cast<std::size_t>(m.at(1)) == proc) {
+          return Message::of(
+              st.cands.at(static_cast<std::size_t>(m.at(2))));
+        }
+        return Message::of(Word{0});
+      case kDone:
+        return Message::of(Word{0});
+    }
+    MCB_CHECK(false, "bad shout opcode");
+    return {};
+  };
+
+  // The coordinator is P_1; its own candidate set participates locally.
+  constexpr std::size_t kCoord = 0;
+  constexpr std::size_t kThreshold = 4;
+
+  SESelectionResult result;
+  std::size_t m_total = n;
+  Message next_shout = Message::of(Word{kReport});
+  bool done = false;
+
+  while (!done) {
+    // One activity: (purge +) report — collect the (median, count) pairs.
+    auto echoes = net.shout(kCoord, next_shout, handler);
+    // The coordinator applies the same purge to its own candidates.
+    std::vector<algo::KV> pairs;
+    {
+      auto& own = state[kCoord].cands;
+      if (next_shout.at(0) == kPurgeLe) {
+        std::erase_if(own, [&](Word w) { return w <= next_shout.at(1); });
+      } else if (next_shout.at(0) == kPurgeGe) {
+        std::erase_if(own, [&](Word w) { return w >= next_shout.at(1); });
+      }
+      const auto own_pair = pair_report(state[kCoord]);
+      pairs.push_back(algo::KV{own_pair.at(0), own_pair.at(1)});
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      if (i == kCoord) continue;
+      pairs.push_back(algo::KV{echoes[i].at(0), echoes[i].at(1)});
+    }
+
+    std::size_t m_check = 0;
+    for (const auto& kv : pairs) {
+      m_check += static_cast<std::size_t>(kv.val);
+    }
+    MCB_CHECK(m_check == m_total, "candidate count drifted");
+
+    if (m_total <= kThreshold) break;  // termination phase below
+    ++result.filter_phases;
+
+    // Weighted median of the medians (free local computation).
+    std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+      return desc_before(a, b);
+    });
+    const std::size_t half = (m_total + 1) / 2;
+    Word med_star = 0;
+    std::size_t prefix = 0;
+    for (const auto& kv : pairs) {
+      prefix += static_cast<std::size_t>(kv.val);
+      if (prefix >= half) {
+        med_star = kv.key;
+        break;
+      }
+    }
+
+    // One activity: count candidates >= med_star.
+    auto counts =
+        net.shout(kCoord, Message::of(Word{kCountGe}, med_star), handler);
+    std::size_t m_s = 0;
+    for (Word w : state[kCoord].cands) {
+      if (w >= med_star) ++m_s;
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      if (i != kCoord) m_s += static_cast<std::size_t>(counts[i].at(0));
+    }
+
+    if (m_s == d) {
+      result.value = med_star;
+      done = true;
+    } else if (m_s > d) {
+      next_shout = Message::of(Word{kPurgeLe}, med_star);
+      m_total = m_s - 1;
+    } else {
+      next_shout = Message::of(Word{kPurgeGe}, med_star);
+      d -= m_s;
+      m_total -= m_s;
+    }
+  }
+
+  if (!done) {
+    // Termination: fetch the few survivors one activity each, select
+    // locally at the coordinator.
+    std::vector<Word> pool = state[kCoord].cands;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (i == kCoord) continue;
+      const std::size_t have = state[i].cands.size();
+      for (std::size_t j = 0; j < have; ++j) {
+        auto echoes = net.shout(
+            kCoord,
+            Message::of(Word{kFetch}, static_cast<Word>(i),
+                        static_cast<Word>(j)),
+            handler);
+        pool.push_back(echoes[i].at(0));
+      }
+    }
+    MCB_CHECK(d >= 1 && d <= pool.size(), "termination rank out of range");
+    result.value = seq::kth_largest(pool, d);
+  }
+
+  // Announce the answer (the echoes are acknowledgements).
+  net.shout(kCoord, Message::of(Word{kDone}, result.value), handler);
+  result.stats = net.stats();
+  return result;
+}
+
+SESelectionResult se_select_binary_search(
+    const std::vector<std::vector<Word>>& inputs, std::size_t d) {
+  const std::size_t p = inputs.size();
+  MCB_REQUIRE(p >= 1, "no processors");
+  std::size_t n = 0;
+  for (const auto& in : inputs) {
+    MCB_REQUIRE(!in.empty(), "every processor needs at least one element");
+    n += in.size();
+  }
+  MCB_REQUIRE(1 <= d && d <= n, "rank " << d << " of " << n);
+
+  ShoutEchoNet net(p);
+  auto count_ge = [&inputs](std::size_t proc, const Message& m) -> Message {
+    Word c = 0;
+    for (Word w : inputs[proc]) {
+      if (w >= m.at(1)) ++c;
+    }
+    return Message::of(c);
+  };
+  auto minmax = [&inputs](std::size_t proc, const Message&) -> Message {
+    const auto [lo, hi] =
+        std::minmax_element(inputs[proc].begin(), inputs[proc].end());
+    return Message::of(*lo, *hi);
+  };
+
+  // Activity 1: learn the global value range.
+  Word lo = *std::min_element(inputs[0].begin(), inputs[0].end());
+  Word hi = *std::max_element(inputs[0].begin(), inputs[0].end());
+  auto ranges = net.shout(0, Message::of(Word{0}), minmax);
+  for (std::size_t i = 1; i < p; ++i) {
+    lo = std::min(lo, ranges[i].at(0));
+    hi = std::max(hi, ranges[i].at(1));
+  }
+
+  // Binary search over values: the answer is the largest v present with
+  // #(>= v) >= d; with distinct elements #(>= answer) == d exactly.
+  while (lo < hi) {
+    const Word mid = lo + (hi - lo + 1) / 2;  // round up so lo advances
+    auto echoes = net.shout(0, Message::of(Word{kCountGe}, mid), count_ge);
+    std::size_t ge = 0;
+    for (Word w : inputs[0]) {
+      if (w >= mid) ++ge;
+    }
+    for (std::size_t i = 1; i < p; ++i) {
+      ge += static_cast<std::size_t>(echoes[i].at(0));
+    }
+    if (ge >= d) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+
+  SESelectionResult result;
+  result.value = lo;
+  result.stats = net.stats();
+  return result;
+}
+
+}  // namespace mcb::se

@@ -1,0 +1,76 @@
+// The Shout-Echo broadcast model (Santoro & Sidney), Section 9's porting
+// target: "In [Marb85] we have implemented the selection algorithm in the
+// Shout-Echo broadcast model, improving the previous best upper bound in
+// that model [Rote83] by a factor of O(log p)."
+//
+// One *communication activity* consists of a single processor broadcasting
+// a message (the shout) and receiving a reply from every other processor
+// (the echoes). Complexity is measured in activities and total messages
+// (1 shout + p-1 echoes per activity). Like the MCB, messages carry
+// O(log beta) bits.
+//
+// The model is inherently coordinator-driven, so no coroutine machinery is
+// needed: the network dispatches each shout to per-processor echo handlers
+// synchronously and accounts for the traffic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mcb/message.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb::se {
+
+struct SEStats {
+  std::size_t activities = 0;
+  std::uint64_t messages = 0;  ///< shouts + echoes
+};
+
+/// The Shout-Echo network. Processor-local state lives with the caller;
+/// the network only enforces the activity structure and counts traffic.
+class ShoutEchoNet {
+ public:
+  /// echo(proc, shout) -> that processor's reply. Called once per
+  /// non-shouting processor, in processor order.
+  using EchoFn =
+      std::function<Message(std::size_t proc, const Message& shout)>;
+
+  explicit ShoutEchoNet(std::size_t p);
+
+  std::size_t p() const { return p_; }
+
+  /// One activity: `shouter` broadcasts `msg`; returns the p-1 echoes
+  /// indexed by processor (the shouter's own slot holds an empty Message).
+  std::vector<Message> shout(std::size_t shouter, const Message& msg,
+                             const EchoFn& echo);
+
+  const SEStats& stats() const { return stats_; }
+
+ private:
+  std::size_t p_;
+  SEStats stats_;
+};
+
+struct SESelectionResult {
+  Word value = 0;
+  std::size_t filter_phases = 0;
+  SEStats stats;
+};
+
+/// Selection by rank in the Shout-Echo model — the Section 8 filtering
+/// algorithm ported as in [Marb85]: each phase costs O(1) activities
+/// (collect (median, count) pairs by echo, shout the weighted median, count
+/// by echo), so N[d] is found in O(log n) activities. Distinct values
+/// required, every processor non-empty.
+SESelectionResult se_select_rank(const std::vector<std::vector<Word>>& inputs,
+                                 std::size_t d);
+
+/// Baseline in the same model: binary search over the value range (shout a
+/// pivot, echo local counts). O(log(value range)) activities — what the
+/// filtering approach improves on when values are from a large universe.
+SESelectionResult se_select_binary_search(
+    const std::vector<std::vector<Word>>& inputs, std::size_t d);
+
+}  // namespace mcb::se

@@ -1,0 +1,60 @@
+#include "seq/columnsort.hpp"
+
+#include <vector>
+
+#include "seq/matrix.hpp"
+#include "seq/sorting.hpp"
+#include "util/check.hpp"
+
+namespace mcb::seq {
+
+bool columnsort_dims_ok(std::size_t m, std::size_t k,
+                        ColumnsortVariant variant) {
+  if (k == 0 || m == 0) return false;
+  if (k == 1) return true;
+  if (m % k != 0) return false;
+  return variant == ColumnsortVariant::kUndiagonalize
+             ? m >= k * (k - 1)
+             : m >= 2 * (k - 1) * (k - 1);
+}
+
+void apply_transform(sched::Transform t, std::span<Word> data, std::size_t m,
+                     std::size_t k) {
+  const auto table = sched::permutation_table(t, m, k);
+  std::vector<Word> scratch(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    scratch[table[i]] = data[i];
+  }
+  std::copy(scratch.begin(), scratch.end(), data.begin());
+}
+
+void columnsort(std::span<Word> data, std::size_t m, std::size_t k,
+                ColumnsortVariant variant) {
+  MCB_REQUIRE(data.size() == m * k,
+              "data size " << data.size() << " != m*k = " << m * k);
+  MCB_REQUIRE(columnsort_dims_ok(m, k, variant),
+              "invalid Columnsort dimensions m=" << m << " k=" << k
+                                                 << " for this variant");
+  ColMatrix mat(data, m, k);
+  auto sort_columns = [&](std::size_t from_col) {
+    for (std::size_t c = from_col; c < k; ++c) {
+      sort_descending(mat.column(c));
+    }
+  };
+
+  sort_columns(0);  // phase 1
+  if (k == 1) return;
+
+  apply_transform(sched::Transform::kTranspose, data, m, k);       // phase 2
+  sort_columns(0);                                                 // phase 3
+  apply_transform(variant == ColumnsortVariant::kUndiagonalize
+                      ? sched::Transform::kUndiagonalize
+                      : sched::Transform::kUntranspose,
+                  data, m, k);                                     // phase 4
+  sort_columns(0);                                                 // phase 5
+  apply_transform(sched::Transform::kUpShift, data, m, k);         // phase 6
+  sort_columns(1);  // phase 7: every column except column 1
+  apply_transform(sched::Transform::kDownShift, data, m, k);       // phase 8
+}
+
+}  // namespace mcb::seq

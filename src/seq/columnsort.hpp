@@ -1,0 +1,44 @@
+// Reference in-memory Columnsort [Leig84], exactly as specialized by the
+// paper (Section 5.1): 8 phases alternating local column sorts with the four
+// matrix transformations, producing the elements in descending order of
+// magnitude, column after column.
+//
+// This implementation is the executable specification that the distributed
+// MCB implementations are tested against; it shares the transformation
+// definitions with the broadcast schedules via sched/permutation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mcb/types.hpp"
+#include "sched/permutation.hpp"
+
+namespace mcb::seq {
+
+/// Which phase-4 transformation the 8-phase scheme uses. The paper uses
+/// un-diagonalize, valid for m >= k(k-1); Leighton's original untranspose
+/// needs the stronger m >= 2(k-1)^2 — implemented as an ablation that
+/// quantifies why the paper's choice admits more columns per element.
+enum class ColumnsortVariant {
+  kUndiagonalize,  ///< the paper's scheme (default)
+  kUntranspose,    ///< Leighton's original
+};
+
+/// Dimension validity for the chosen variant (k | m plus the bound above;
+/// k == 1 is always valid — single column, phases 2-9 degenerate).
+bool columnsort_dims_ok(
+    std::size_t m, std::size_t k,
+    ColumnsortVariant variant = ColumnsortVariant::kUndiagonalize);
+
+/// Sorts `data` (column-major m x k) into descending column-major order.
+/// Requires columnsort_dims_ok(m, k, variant); throws std::invalid_argument
+/// otherwise.
+void columnsort(std::span<Word> data, std::size_t m, std::size_t k,
+                ColumnsortVariant variant = ColumnsortVariant::kUndiagonalize);
+
+/// Applies one transformation out of place via a scratch buffer.
+void apply_transform(sched::Transform t, std::span<Word> data, std::size_t m,
+                     std::size_t k);
+
+}  // namespace mcb::seq

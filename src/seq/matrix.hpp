@@ -1,0 +1,53 @@
+// Column-major matrix view used by Columnsort.
+//
+// The paper views the input as "a set of k columns of length m". ColMatrix
+// is a non-owning view over flat storage of size m*k laid out column-major:
+// linear index ell = col*m + row, which is exactly the "(column, row)
+// lexicographic order" the transformations are defined over.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mcb/types.hpp"
+#include "util/check.hpp"
+
+namespace mcb::seq {
+
+class ColMatrix {
+ public:
+  ColMatrix(std::span<Word> data, std::size_t m, std::size_t k)
+      : data_(data), m_(m), k_(k) {
+    MCB_REQUIRE(data.size() == m * k, "matrix storage " << data.size()
+                                                        << " != m*k = "
+                                                        << m * k);
+  }
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return k_; }
+  std::size_t size() const { return m_ * k_; }
+
+  Word& at(std::size_t row, std::size_t col) {
+    MCB_CHECK(row < m_ && col < k_, "(" << row << "," << col << ")");
+    return data_[col * m_ + row];
+  }
+  Word at(std::size_t row, std::size_t col) const {
+    MCB_CHECK(row < m_ && col < k_, "(" << row << "," << col << ")");
+    return data_[col * m_ + row];
+  }
+
+  std::span<Word> column(std::size_t col) {
+    MCB_CHECK(col < k_, "column " << col);
+    return data_.subspan(col * m_, m_);
+  }
+
+  std::span<Word> flat() { return data_; }
+  std::span<const Word> flat() const { return data_; }
+
+ private:
+  std::span<Word> data_;
+  std::size_t m_;
+  std::size_t k_;
+};
+
+}  // namespace mcb::seq

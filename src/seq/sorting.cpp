@@ -1,0 +1,18 @@
+#include "seq/sorting.hpp"
+
+namespace mcb::seq {
+
+void sort_descending(std::span<Word> v) {
+  intro_sort(v, std::greater<Word>{});
+}
+
+void sort_ascending(std::span<Word> v) { intro_sort(v, std::less<Word>{}); }
+
+bool is_sorted_descending(std::span<const Word> v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] < v[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace mcb::seq

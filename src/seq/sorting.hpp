@@ -1,0 +1,165 @@
+// Sequential sorting substrate.
+//
+// The paper's local sorting phases cite [Knut73]; this module provides the
+// stand-in: insertion sort, heapsort, bottom-up merge sort and an introsort
+// driver (quicksort with median-of-three, depth-limited into heapsort,
+// insertion sort for small ranges). Implemented from scratch so the library
+// has no hidden dependency on std::sort; std algorithms appear only in tests
+// as oracles.
+//
+// All comparators follow std conventions: cmp(a, b) == true iff a must
+// precede b. The paper orders lists in *descending* magnitude (N[1] is the
+// largest element), so descending helpers are provided as the library
+// default.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mcb/types.hpp"
+
+namespace mcb::seq {
+
+template <typename T, typename Cmp = std::less<T>>
+void insertion_sort(std::span<T> v, Cmp cmp = {}) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    T x = std::move(v[i]);
+    std::size_t j = i;
+    while (j > 0 && cmp(x, v[j - 1])) {
+      v[j] = std::move(v[j - 1]);
+      --j;
+    }
+    v[j] = std::move(x);
+  }
+}
+
+namespace detail {
+
+template <typename T, typename Cmp>
+void sift_down(std::span<T> v, std::size_t root, std::size_t limit, Cmp cmp) {
+  // Max-heap with respect to cmp: parent not cmp-before any child.
+  while (true) {
+    const std::size_t left = 2 * root + 1;
+    if (left >= limit) return;
+    std::size_t best = left;
+    if (left + 1 < limit && cmp(v[left], v[left + 1])) best = left + 1;
+    if (!cmp(v[root], v[best])) return;
+    using std::swap;
+    swap(v[root], v[best]);
+    root = best;
+  }
+}
+
+}  // namespace detail
+
+template <typename T, typename Cmp = std::less<T>>
+void heap_sort(std::span<T> v, Cmp cmp = {}) {
+  const std::size_t n = v.size();
+  if (n < 2) return;
+  for (std::size_t i = n / 2; i-- > 0;) {
+    detail::sift_down(v, i, n, cmp);
+  }
+  for (std::size_t end = n; end-- > 1;) {
+    using std::swap;
+    swap(v[0], v[end]);
+    detail::sift_down(v, 0, end, cmp);
+  }
+}
+
+/// Stable bottom-up merge sort; allocates an n-element buffer.
+template <typename T, typename Cmp = std::less<T>>
+void merge_sort(std::span<T> v, Cmp cmp = {}) {
+  const std::size_t n = v.size();
+  if (n < 2) return;
+  std::vector<T> buf(v.begin(), v.end());
+  T* src = buf.data();
+  T* dst = v.data();
+  bool into_v = true;
+  for (std::size_t width = 1; width < n; width *= 2) {
+    for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+      const std::size_t mid = std::min(lo + width, n);
+      const std::size_t hi = std::min(lo + 2 * width, n);
+      std::size_t a = lo, b = mid, o = lo;
+      while (a < mid && b < hi) {
+        // !cmp(src[b], src[a]) keeps equal elements from the left: stable.
+        dst[o++] = !cmp(src[b], src[a]) ? std::move(src[a++])
+                                        : std::move(src[b++]);
+      }
+      while (a < mid) dst[o++] = std::move(src[a++]);
+      while (b < hi) dst[o++] = std::move(src[b++]);
+    }
+    std::swap(src, dst);
+    into_v = !into_v;
+  }
+  // After the final swap, `src` points at the fully sorted data.
+  if (into_v) {
+    for (std::size_t i = 0; i < n; ++i) v[i] = std::move(buf[i]);
+  }
+}
+
+namespace detail {
+
+template <typename T, typename Cmp>
+const T& median3(const T& a, const T& b, const T& c, Cmp cmp) {
+  if (cmp(a, b)) {
+    if (cmp(b, c)) return b;
+    return cmp(a, c) ? c : a;
+  }
+  if (cmp(a, c)) return a;
+  return cmp(b, c) ? c : b;
+}
+
+template <typename T, typename Cmp>
+void intro_rec(std::span<T> v, std::size_t depth, Cmp cmp) {
+  constexpr std::size_t kSmall = 24;
+  while (v.size() > kSmall) {
+    if (depth == 0) {
+      heap_sort(v, cmp);
+      return;
+    }
+    --depth;
+    const T pivot =
+        median3(v[0], v[v.size() / 2], v[v.size() - 1], cmp);
+    // Hoare partition.
+    std::size_t i = 0, j = v.size() - 1;
+    while (true) {
+      while (cmp(v[i], pivot)) ++i;
+      while (cmp(pivot, v[j])) --j;
+      if (i >= j) break;
+      using std::swap;
+      swap(v[i], v[j]);
+      ++i;
+      --j;
+    }
+    // Recurse into the smaller side, loop on the larger (bounded stack).
+    const std::size_t cut = j + 1;
+    if (cut < v.size() - cut) {
+      intro_rec(v.subspan(0, cut), depth, cmp);
+      v = v.subspan(cut);
+    } else {
+      intro_rec(v.subspan(cut), depth, cmp);
+      v = v.subspan(0, cut);
+    }
+  }
+  insertion_sort(v, cmp);
+}
+
+}  // namespace detail
+
+/// General-purpose sort: introsort. O(n log n) worst case, in place.
+template <typename T, typename Cmp = std::less<T>>
+void intro_sort(std::span<T> v, Cmp cmp = {}) {
+  std::size_t depth = 0;
+  for (std::size_t x = v.size(); x > 1; x /= 2) depth += 2;
+  detail::intro_rec(v, depth, cmp);
+}
+
+// --- Word conveniences in the paper's (descending) convention --------------
+
+void sort_descending(std::span<Word> v);
+void sort_ascending(std::span<Word> v);
+bool is_sorted_descending(std::span<const Word> v);
+
+}  // namespace mcb::seq

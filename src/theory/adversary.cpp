@@ -1,0 +1,139 @@
+#include "theory/adversary.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mcb::theory {
+
+std::vector<std::vector<Word>> hard_sort_instance(
+    const std::vector<std::size_t>& sizes) {
+  MCB_REQUIRE(!sizes.empty(), "no processors");
+  const std::size_t p = sizes.size();
+  const std::size_t n =
+      std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  std::vector<std::vector<Word>> inputs(p);
+  for (std::size_t i = 0; i < p; ++i) inputs[i].reserve(sizes[i]);
+  // Deal ranks n, n-1, ... (descending values) circularly over processors
+  // that still have capacity: consecutive sorted neighbours go to different
+  // processors for as long as at least two processors are unfilled.
+  std::size_t at = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    std::size_t guard = 0;
+    while (inputs[at].size() == sizes[at]) {
+      at = (at + 1) % p;
+      MCB_CHECK(++guard <= p, "no capacity left");
+    }
+    inputs[at].push_back(static_cast<Word>(n - rank));
+    at = (at + 1) % p;
+  }
+  return inputs;
+}
+
+std::vector<std::vector<Word>> hard_sort_instance_pmax(std::size_t half,
+                                                       std::size_t p) {
+  MCB_REQUIRE(p >= 2, "need at least two processors");
+  MCB_REQUIRE(half >= 1, "need at least one pair of ranks");
+  const std::size_t n = 2 * half;
+  std::vector<std::vector<Word>> inputs(p);
+  // Descending values 2*half .. 1; processor 0 takes every second one.
+  for (std::size_t j = 0; j < half; ++j) {
+    inputs[0].push_back(static_cast<Word>(n - 2 * j - 1));  // N[2j] (even)
+    inputs[1 + (j % (p - 1))].push_back(
+        static_cast<Word>(n - 2 * j));  // N[2j-1] (odd ranks)
+  }
+  return inputs;
+}
+
+SelectionAdversary::SelectionAdversary(
+    const std::vector<std::size_t>& sizes) {
+  MCB_REQUIRE(!sizes.empty(), "no processors");
+  const std::size_t p = sizes.size();
+  // Pair processors by non-increasing n_i; equalize candidates within each
+  // pair to the smaller count. An odd processor out keeps no candidates
+  // (its elements are split very small / very large), as in the proof.
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sizes[a] != sizes[b] ? sizes[a] > sizes[b] : a < b;
+  });
+  live_.assign(p, 0);
+  partner_.assign(p, SIZE_MAX);
+  for (std::size_t j = 0; j + 1 < p; j += 2) {
+    const std::size_t c = sizes[order[j + 1]];
+    live_[order[j]] = c;
+    live_[order[j + 1]] = c;
+    partner_[order[j]] = order[j + 1];
+    partner_[order[j + 1]] = order[j];
+  }
+  if (p == 1) {
+    live_[0] = sizes[0];
+    partner_[0] = 0;
+  }
+  total_ = std::accumulate(live_.begin(), live_.end(), std::size_t{0});
+}
+
+SelectionAdversary::SelectionAdversary(const std::vector<std::size_t>& sizes,
+                                       std::size_t d)
+    : SelectionAdversary(sizes) {
+  const std::size_t p = sizes.size();
+  MCB_REQUIRE(d >= 1, "rank d >= 1");
+  // Cap the per-pair candidate counts so the network total stays <= 2d
+  // while every paired processor keeps at least ceil(d/p) candidates (the
+  // proof's floor). Pairs are visited largest-first, trimming the excess.
+  const std::size_t floor_each =
+      std::max<std::size_t>(1, (d + p - 1) / p);
+  std::size_t over = total_ > 2 * d ? total_ - 2 * d : 0;
+  // Deterministic largest-first order over processors.
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return live_[a] != live_[b] ? live_[a] > live_[b] : a < b;
+  });
+  for (std::size_t idx : order) {
+    if (over == 0) break;
+    const std::size_t partner = partner_[idx];
+    if (partner == idx || idx > partner) continue;  // visit each pair once
+    const std::size_t c0 = live_[idx];
+    if (c0 <= floor_each) continue;
+    const std::size_t cut = std::min(c0 - floor_each, over / 2);
+    live_[idx] -= cut;
+    live_[partner] -= cut;
+    total_ -= 2 * cut;
+    over -= std::min(over, 2 * cut);
+  }
+}
+
+std::size_t SelectionAdversary::candidates(std::size_t proc) const {
+  MCB_REQUIRE(proc < live_.size(), "processor " << proc);
+  return live_[proc];
+}
+
+std::size_t SelectionAdversary::expose(std::size_t proc, std::size_t q) {
+  MCB_REQUIRE(proc < live_.size(), "processor " << proc);
+  ++messages_;
+  const std::size_t c = live_[proc];
+  if (c == 0 || q < 1 || q > c) return 0;  // no live candidate exposed
+  // The exposed candidate is on one side of P_a's median: the adversary
+  // fixes it and everything beyond it in P_a (very small, say) plus an
+  // equal number at the partner's opposite end (very large) — keeping the
+  // global very-small/very-large balance AND the pair's counts equal, so a
+  // single message never eliminates more than m+1 of the pair's 2m
+  // candidates.
+  std::size_t side = std::min(q, c - q + 1);
+  const std::size_t pb = partner_[proc];
+  MCB_CHECK(pb == proc || live_[pb] == c, "pair lost its balance");
+  // Leave at least one candidate in the network (the surviving median).
+  if (2 * side >= total_) {
+    side = (total_ - 1) / 2;
+    if (side == 0) return 0;
+  }
+  live_[proc] -= side;
+  if (pb != proc) live_[pb] -= side;
+  const std::size_t gone = pb != proc ? 2 * side : side;
+  total_ -= gone;
+  return gone;
+}
+
+}  // namespace mcb::theory

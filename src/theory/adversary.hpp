@@ -1,0 +1,79 @@
+// The lower-bound constructions of Section 4, made executable.
+//
+// * hard_sort_instance       — Theorem 3's circular distribution: values are
+//                              dealt round-robin over processors that still
+//                              have capacity, so no two neighbours of the
+//                              sorted order share a processor (within the
+//                              first n - (n_max - n_max2) ranks). Any
+//                              comparison sort must move Omega of them.
+// * hard_sort_instance_pmax  — Theorem 5's distribution: one processor holds
+//                              every even rank, forcing it to touch
+//                              min(n_max, n - n_max) messages serially.
+// * SelectionAdversary       — the candidate-fixing game of Theorems 1 and 2.
+//                              Processors are paired by decreasing n_i and
+//                              candidates equalized; whenever the algorithm
+//                              sends a message exposing a candidate, the
+//                              adversary fixes it and a balancing set to be
+//                              "very small"/"very large", eliminating at
+//                              most half of the pair's candidates (plus
+//                              one). Driving any strategy against the game
+//                              therefore costs at least
+//                              selection_messages_lower(...) messages before
+//                              a single candidate (the median) remains.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mcb/types.hpp"
+
+namespace mcb::theory {
+
+/// Theorem 3 input: inputs[i] holds sizes[i] values; neighbours in sorted
+/// order land on different processors wherever possible.
+std::vector<std::vector<Word>> hard_sort_instance(
+    const std::vector<std::size_t>& sizes);
+
+/// Theorem 5 input: p processors, n = 2*half elements; processor 0 holds
+/// the even ranks (n_max = half), the rest are spread round-robin.
+std::vector<std::vector<Word>> hard_sort_instance_pmax(std::size_t half,
+                                                       std::size_t p);
+
+class SelectionAdversary {
+ public:
+  /// Sets up the Theorem 1 game for the given cardinalities (median
+  /// selection). Candidate counts are equalized within pairs.
+  explicit SelectionAdversary(const std::vector<std::size_t>& sizes);
+
+  /// Theorem 2 variant for an arbitrary rank p <= d <= n/2: pairs whose
+  /// smaller member holds fewer than d/p elements keep all of it as
+  /// candidates; the remaining pairs are capped so the network starts with
+  /// at most 2d candidates, each processor holding at least d/p. The median
+  /// of the candidates is N[d] by construction.
+  SelectionAdversary(const std::vector<std::size_t>& sizes, std::size_t d);
+
+  /// Number of still-unfixed candidates at processor i.
+  std::size_t candidates(std::size_t proc) const;
+
+  /// Total candidates remaining in the network.
+  std::size_t total_candidates() const { return total_; }
+
+  /// The algorithm sends a message exposing the candidate at 1-based
+  /// position `q` (from the bottom) of processor `proc`'s live candidates.
+  /// Returns the number of candidates the adversary fixed (0 if the
+  /// message exposed no live candidate). Never eliminates the last
+  /// candidate of the network.
+  std::size_t expose(std::size_t proc, std::size_t q);
+
+  /// Messages the game has processed so far (every expose() call counts,
+  /// exactly like the proof's accounting).
+  std::size_t messages() const { return messages_; }
+
+ private:
+  std::vector<std::size_t> live_;     ///< live candidates per processor
+  std::vector<std::size_t> partner_;  ///< pair partner (== self if alone)
+  std::size_t total_ = 0;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace mcb::theory

@@ -1,0 +1,90 @@
+#include "theory/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mcb::theory {
+namespace {
+
+std::size_t total(const std::vector<std::size_t>& sizes) {
+  return std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+}
+
+std::vector<std::size_t> sorted_desc(std::vector<std::size_t> sizes) {
+  std::sort(sizes.begin(), sizes.end(), std::greater<>{});
+  return sizes;
+}
+
+}  // namespace
+
+double sorting_messages_lower(const std::vector<std::size_t>& sizes) {
+  MCB_REQUIRE(!sizes.empty(), "no processors");
+  const auto s = sorted_desc(sizes);
+  const std::size_t n = total(sizes);
+  const std::size_t n_max = s[0];
+  const std::size_t n_max2 = s.size() > 1 ? s[1] : 0;
+  return 0.5 * double(n - (n_max - n_max2));
+}
+
+double sorting_cycles_lower(const std::vector<std::size_t>& sizes,
+                            std::size_t k) {
+  MCB_REQUIRE(k >= 1, "k >= 1");
+  const auto s = sorted_desc(sizes);
+  const std::size_t n = total(sizes);
+  const std::size_t n_max = s[0];
+  const double via_messages = sorting_messages_lower(sizes) / double(k);
+  const double via_pmax = double(std::min(n_max, n - n_max));
+  return std::max(via_messages, via_pmax);
+}
+
+double sorting_messages_term(std::size_t n) { return double(n); }
+
+double sorting_cycles_term(std::size_t n, std::size_t k, std::size_t n_max) {
+  return std::max(double(n) / double(k), double(n_max));
+}
+
+double selection_messages_lower(const std::vector<std::size_t>& sizes) {
+  MCB_REQUIRE(!sizes.empty(), "no processors");
+  const auto s = sorted_desc(sizes);
+  double sum = 0;
+  for (std::size_t j = 1; j < s.size(); ++j) {  // drop the largest
+    sum += std::log2(2.0 * double(std::max<std::size_t>(s[j], 1)));
+  }
+  return 0.5 * sum;
+}
+
+double selection_messages_lower_rank(const std::vector<std::size_t>& sizes,
+                                     std::size_t d) {
+  MCB_REQUIRE(!sizes.empty(), "no processors");
+  const std::size_t p = sizes.size();
+  MCB_REQUIRE(d >= 1, "d >= 1");
+  const auto s = sorted_desc(sizes);
+  const double dp = double(d) / double(p);
+  std::size_t cnt = 0;  // the paper's s: processors with n_i >= d/p
+  while (cnt < p && double(s[cnt]) >= dp) ++cnt;
+  double sum = cnt > 0 ? double(cnt - 1) * std::log2(2.0 * dp) : 0.0;
+  for (std::size_t j = cnt; j < p; ++j) {
+    sum += std::log2(2.0 * double(std::max<std::size_t>(s[j], 1)));
+  }
+  return 0.5 * std::max(sum, 0.0);
+}
+
+double selection_cycles_lower(const std::vector<std::size_t>& sizes,
+                              std::size_t k) {
+  MCB_REQUIRE(k >= 1, "k >= 1");
+  return selection_messages_lower(sizes) / double(k);
+}
+
+double selection_messages_term(std::size_t p, std::size_t k, std::size_t n) {
+  return double(p) * std::log2(std::max(2.0, double(k) * double(n) /
+                                                 double(p)));
+}
+
+double selection_cycles_term(std::size_t p, std::size_t k, std::size_t n) {
+  return selection_messages_term(p, k, n) / double(k);
+}
+
+}  // namespace mcb::theory

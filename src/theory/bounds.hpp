@@ -1,0 +1,48 @@
+// Closed-form bound expressions from the paper's theorems and corollaries,
+// used by the benchmark harness to print measured-vs-predicted ratios and by
+// tests to check that the implementations sit within constant factors of
+// the lower bounds.
+//
+// Lower bounds return the Omega(...) argument with the constants the proofs
+// actually give (e.g. the 1/2 from pairing in Theorem 1); Theta terms for
+// upper-bound comparison return the unit-constant expression.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcb::theory {
+
+// --- sorting ---------------------------------------------------------------
+
+/// Theorem 3: messages >= (n - (n_max - n_max2)) / 2.
+double sorting_messages_lower(const std::vector<std::size_t>& sizes);
+
+/// Corollary 3 + Theorem 5: cycles >= max(Thm3/k, min(n_max, n - n_max)).
+double sorting_cycles_lower(const std::vector<std::size_t>& sizes,
+                            std::size_t k);
+
+/// Corollary 6 Theta terms: n messages, max(n/k, n_max) cycles.
+double sorting_messages_term(std::size_t n);
+double sorting_cycles_term(std::size_t n, std::size_t k, std::size_t n_max);
+
+// --- selection ---------------------------------------------------------------
+
+/// Theorem 1 (median): messages >= 1/2 * sum_{j>=2} log2(2 n_{i_j}), the
+/// n_{i_j} in non-increasing order (the largest is dropped by the pairing).
+double selection_messages_lower(const std::vector<std::size_t>& sizes);
+
+/// Theorem 2 (rank d, p <= d <= n/2): with s = #{i : n_i >= d/p},
+/// messages >= 1/2 * ((s-1) log2(2d/p) + sum_{j>s} log2(2 n_{i_j})).
+double selection_messages_lower_rank(const std::vector<std::size_t>& sizes,
+                                     std::size_t d);
+
+/// Corollaries 1/2: the cycle bounds are the message bounds divided by k.
+double selection_cycles_lower(const std::vector<std::size_t>& sizes,
+                              std::size_t k);
+
+/// Corollary 7 Theta terms: p log2(kn/p) messages, (p/k) log2(kn/p) cycles.
+double selection_messages_term(std::size_t p, std::size_t k, std::size_t n);
+double selection_cycles_term(std::size_t p, std::size_t k, std::size_t n);
+
+}  // namespace mcb::theory

@@ -1,0 +1,49 @@
+// Assertion and precondition-checking macros used throughout the library.
+//
+// MCB_REQUIRE  — validates a user-supplied precondition; throws
+//                std::invalid_argument with a formatted message. Always on.
+// MCB_CHECK    — validates an internal invariant; throws std::logic_error.
+//                Always on (the simulator is a measurement instrument, so
+//                internal consistency matters more than the last few percent
+//                of speed).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcb::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace mcb::detail
+
+#define MCB_REQUIRE(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mcb::detail::throw_require(#cond, __FILE__, __LINE__,         \
+                                   (std::ostringstream{} << msg).str()); \
+    }                                                                 \
+  } while (false)
+
+#define MCB_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::mcb::detail::throw_check(#cond, __FILE__, __LINE__,           \
+                                 (std::ostringstream{} << msg).str()); \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,95 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+
+#include "util/check.hpp"
+
+namespace mcb::util {
+
+Cli Cli::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+Cli Cli::parse(const std::vector<std::string>& args) {
+  Cli cli;
+  std::size_t at = 0;
+  if (at < args.size() && !args[at].starts_with("--")) {
+    cli.command_ = args[at++];
+  }
+  while (at < args.size()) {
+    const std::string& tok = args[at];
+    MCB_REQUIRE(tok.starts_with("--") && tok.size() > 2,
+                "expected --flag, got '" << tok << "'");
+    std::string name, value;
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      name = tok.substr(2, eq - 2);
+      value = tok.substr(eq + 1);
+      ++at;
+    } else {
+      name = tok.substr(2);
+      ++at;
+      if (at < args.size() && !args[at].starts_with("--")) {
+        value = args[at++];
+      }
+    }
+    MCB_REQUIRE(!cli.flags_.contains(name), "duplicate flag --" << name);
+    cli.flags_[name] = value;
+  }
+  return cli;
+}
+
+bool Cli::has(const std::string& name) const {
+  touched_[name] = true;
+  return flags_.contains(name);
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  MCB_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+              "--" << name << " expects an integer, got '" << s << "'");
+  return out;
+}
+
+std::uint64_t Cli::get_uint(const std::string& name,
+                            std::uint64_t fallback) const {
+  const auto v = get_int(name, static_cast<std::int64_t>(fallback));
+  MCB_REQUIRE(v >= 0, "--" << name << " must be non-negative");
+  return static_cast<std::uint64_t>(v);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const auto& s = it->second;
+  if (s.empty() || s == "true" || s == "1") return true;
+  if (s == "false" || s == "0") return false;
+  MCB_REQUIRE(false, "--" << name << " expects a boolean, got '" << s << "'");
+  return fallback;
+}
+
+std::vector<std::string> Cli::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!touched_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace mcb::util

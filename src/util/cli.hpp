@@ -1,0 +1,46 @@
+// A small command-line flag parser for the tools and benches.
+//
+// Grammar: <subcommand> (--name value | --name | --name=value)*.
+// Typed getters with defaults; unknown-flag detection; helpful errors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcb::util {
+
+class Cli {
+ public:
+  /// Parses argv (excluding argv[0]). Throws std::invalid_argument on
+  /// malformed input (flag without name, duplicate flag).
+  static Cli parse(int argc, const char* const* argv);
+  static Cli parse(const std::vector<std::string>& args);
+
+  /// First positional token (the subcommand); empty if none.
+  const std::string& command() const { return command_; }
+
+  bool has(const std::string& name) const;
+
+  /// Typed access. get_* throw std::invalid_argument if the flag is present
+  /// but malformed; return `fallback` if absent. Boolean flags are true
+  /// when present with no value or with "true"/"1".
+  std::string get_string(const std::string& name,
+                         const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& name,
+                         std::uint64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Flags seen but never queried — call after all getters to reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace mcb::util

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the library flows through Xoshiro256StarStar so that a
+// given seed reproduces an identical run — workloads, traces and statistics
+// included. The generator satisfies std::uniform_random_bit_generator and
+// can therefore be used with standard distributions, but the helpers below
+// avoid libstdc++-version-dependent distribution algorithms so results are
+// stable across toolchains.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mcb::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes of state from a single 64-bit seed via splitmix64.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mcb::util

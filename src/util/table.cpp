@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace mcb::util {
+
+Table::Cell Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return {buf, true};
+}
+
+Table::Cell Table::txt(std::string s) {
+  return {std::move(s), false};
+}
+
+void Table::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void Table::row(std::vector<Cell> cells) {
+  MCB_CHECK(header_.empty() || cells.size() == header_.size(),
+            "row width " << cells.size() << " vs header " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  const std::size_t ncols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                      : header_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < ncols; ++c) {
+      width[c] = std::max(width[c], r[c].text.size());
+    }
+  }
+
+  std::ostringstream os;
+  auto pad = [&](const std::string& s, std::size_t w, bool right) {
+    if (right) {
+      os << std::string(w - s.size(), ' ') << s;
+    } else {
+      os << s << std::string(w - s.size(), ' ');
+    }
+  };
+
+  if (!header_.empty()) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) os << "  ";
+      pad(header_[c], width[c], false);
+    }
+    os << '\n';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) os << "  ";
+      os << std::string(width[c], '-');
+    }
+    os << '\n';
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << "  ";
+      pad(r[c].text, width[c], r[c].numeric);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.str();
+}
+
+}  // namespace mcb::util

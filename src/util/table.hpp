@@ -1,0 +1,49 @@
+// Aligned ASCII table printer used by the benchmark harnesses to report
+// measured-vs-predicted complexity rows in a form comparable to the paper's
+// claims.
+#pragma once
+
+#include <concepts>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcb::util {
+
+/// Builds a table row by row and renders it with aligned columns.
+///
+/// Numeric cells are right-aligned, text cells left-aligned. The first row
+/// added via header() is underlined. Intended usage:
+///
+///   Table t;
+///   t.header({"n", "cycles", "n/k", "ratio"});
+///   t.row({Table::num(4096), Table::num(1024), ...});
+///   std::cout << t;
+class Table {
+ public:
+  struct Cell {
+    std::string text;
+    bool numeric = false;
+  };
+
+  template <std::integral T>
+  static Cell num(T v) {
+    return {std::to_string(v), true};
+  }
+  static Cell num(double v, int precision = 3);
+  static Cell txt(std::string s);
+
+  void header(std::vector<std::string> names);
+  void row(std::vector<Cell> cells);
+
+  /// Renders with two-space column gaps; header separated by dashes.
+  std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace mcb::util

@@ -1,0 +1,155 @@
+#include "util/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace mcb::util {
+
+std::string to_string(Shape s) {
+  switch (s) {
+    case Shape::kEven: return "even";
+    case Shape::kZipf: return "zipf";
+    case Shape::kOneHot: return "onehot";
+    case Shape::kRandom: return "random";
+    case Shape::kStaircase: return "staircase";
+  }
+  return "?";
+}
+
+std::size_t Workload::total() const {
+  std::size_t n = 0;
+  for (const auto& v : inputs) n += v.size();
+  return n;
+}
+
+std::size_t Workload::max_local() const {
+  std::size_t m = 0;
+  for (const auto& v : inputs) m = std::max(m, v.size());
+  return m;
+}
+
+std::size_t Workload::max2_local() const {
+  std::size_t m1 = 0, m2 = 0;
+  for (const auto& v : inputs) {
+    if (v.size() >= m1) {
+      m2 = m1;
+      m1 = v.size();
+    } else {
+      m2 = std::max(m2, v.size());
+    }
+  }
+  return m2;
+}
+
+std::vector<std::size_t> cardinalities(std::size_t n, std::size_t p,
+                                       Shape shape, std::uint64_t seed) {
+  MCB_REQUIRE(p >= 1 && n >= p,
+              "need n >= p >= 1, got n=" << n << " p=" << p);
+  std::vector<std::size_t> sizes(p, 0);
+  switch (shape) {
+    case Shape::kEven: {
+      MCB_REQUIRE(n % p == 0, "even shape needs p | n (n=" << n
+                                  << ", p=" << p << ")");
+      std::fill(sizes.begin(), sizes.end(), n / p);
+      break;
+    }
+    case Shape::kZipf: {
+      // weights 1/1, 1/2, ..., 1/p; floor-allocate then distribute the
+      // remainder to the heaviest processors, keeping every n_i >= 1.
+      double total_w = 0;
+      for (std::size_t i = 0; i < p; ++i) total_w += 1.0 / double(i + 1);
+      std::size_t assigned = 0;
+      for (std::size_t i = 0; i < p; ++i) {
+        const double w = (1.0 / double(i + 1)) / total_w;
+        sizes[i] = std::max<std::size_t>(
+            1, static_cast<std::size_t>(w * double(n)));
+        assigned += sizes[i];
+      }
+      // Correct rounding drift.
+      while (assigned > n) {
+        for (std::size_t i = p; i-- > 0 && assigned > n;) {
+          if (sizes[i] > 1) {
+            --sizes[i];
+            --assigned;
+          }
+        }
+      }
+      for (std::size_t i = 0; assigned < n; i = (i + 1) % p) {
+        ++sizes[i];
+        ++assigned;
+      }
+      break;
+    }
+    case Shape::kOneHot: {
+      std::fill(sizes.begin(), sizes.end(), std::size_t{1});
+      sizes[0] = n - (p - 1);
+      break;
+    }
+    case Shape::kRandom: {
+      Xoshiro256StarStar rng(seed ^ 0x6f6e656c6f6164ull);
+      std::fill(sizes.begin(), sizes.end(), std::size_t{1});
+      for (std::size_t rest = n - p; rest > 0; --rest) {
+        ++sizes[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(p) - 1))];
+      }
+      break;
+    }
+    case Shape::kStaircase: {
+      const std::size_t weight_sum = p * (p + 1) / 2;
+      std::size_t assigned = 0;
+      for (std::size_t i = 0; i < p; ++i) {
+        sizes[i] = std::max<std::size_t>(1, (i + 1) * n / weight_sum);
+        assigned += sizes[i];
+      }
+      while (assigned > n) {
+        for (std::size_t i = p; i-- > 0 && assigned > n;) {
+          if (sizes[i] > 1) {
+            --sizes[i];
+            --assigned;
+          }
+        }
+      }
+      for (std::size_t i = 0; assigned < n; i = (i + 1) % p) {
+        ++sizes[i];
+        ++assigned;
+      }
+      break;
+    }
+  }
+  MCB_CHECK(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}) == n,
+            "cardinalities must sum to n");
+  return sizes;
+}
+
+Workload make_workload(const std::vector<std::size_t>& sizes,
+                       std::uint64_t seed) {
+  std::size_t n = std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  // Distinct values: a shuffled permutation of 1..n scaled by a stride so
+  // values are not simply ranks (catches rank/value confusion in tests).
+  std::vector<Word> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<Word>(i + 1) * 7 - 3;
+  }
+  Xoshiro256StarStar rng(seed);
+  rng.shuffle(values);
+
+  Workload w;
+  w.inputs.resize(sizes.size());
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    w.inputs[i].assign(values.begin() + static_cast<std::ptrdiff_t>(at),
+                       values.begin() + static_cast<std::ptrdiff_t>(at + sizes[i]));
+    at += sizes[i];
+  }
+  return w;
+}
+
+Workload make_workload(std::size_t n, std::size_t p, Shape shape,
+                       std::uint64_t seed) {
+  return make_workload(cardinalities(n, p, shape, seed), seed);
+}
+
+}  // namespace mcb::util

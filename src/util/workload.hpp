@@ -1,0 +1,53 @@
+// Synthetic workload generators.
+//
+// The paper evaluates nothing empirically, so the benchmark harness supplies
+// deterministic synthetic inputs: a value set distributed over p processors
+// under one of several distribution shapes, including the adversarial
+// distributions used in the lower-bound proofs (see theory/adversary.hpp for
+// those). Every generator is seeded and reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcb/types.hpp"
+
+namespace mcb::util {
+
+/// How the n elements are split among the p processors.
+enum class Shape {
+  kEven,        ///< n_i = n/p for all i (requires p | n).
+  kZipf,        ///< sizes proportional to 1/rank — heavy skew, n_max large.
+  kOneHot,      ///< one processor holds almost everything (n_max ~ n-p+1).
+  kRandom,      ///< i.i.d. random split with every n_i >= 1.
+  kStaircase,   ///< n_i proportional to i+1 — mild monotone skew.
+};
+
+std::string to_string(Shape s);
+
+/// A concrete distributed input: inputs[i] is processor i's local list.
+struct Workload {
+  std::vector<std::vector<Word>> inputs;
+
+  std::size_t total() const;
+  std::size_t max_local() const;   ///< the paper's n_max
+  std::size_t max2_local() const;  ///< the paper's n_max2
+};
+
+/// Splits total n into p positive cardinalities according to `shape`.
+std::vector<std::size_t> cardinalities(std::size_t n, std::size_t p,
+                                       Shape shape, std::uint64_t seed);
+
+/// Generates a workload of n distinct values (a random permutation of a
+/// value range) split per `shape`. Values are distinct, as the paper assumes
+/// w.l.o.g. (Section 3).
+Workload make_workload(std::size_t n, std::size_t p, Shape shape,
+                       std::uint64_t seed);
+
+/// Generates a workload with caller-provided cardinalities.
+Workload make_workload(const std::vector<std::size_t>& sizes,
+                       std::uint64_t seed);
+
+}  // namespace mcb::util

@@ -1,0 +1,71 @@
+// Tests of the command-line flag parser used by the tools.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace mcb::util {
+namespace {
+
+TEST(CliTest, SubcommandAndFlags) {
+  auto cli = Cli::parse({"sort", "--p", "16", "--k=4", "--json"});
+  EXPECT_EQ(cli.command(), "sort");
+  EXPECT_EQ(cli.get_uint("p", 0), 16u);
+  EXPECT_EQ(cli.get_uint("k", 0), 4u);
+  EXPECT_TRUE(cli.get_bool("json"));
+  EXPECT_TRUE(cli.unused().empty());
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  auto cli = Cli::parse({"select"});
+  EXPECT_EQ(cli.get_int("rank", -7), -7);
+  EXPECT_EQ(cli.get_string("shape", "even"), "even");
+  EXPECT_FALSE(cli.get_bool("json"));
+  EXPECT_FALSE(cli.has("rank"));
+}
+
+TEST(CliTest, BooleanSpellings) {
+  EXPECT_TRUE(Cli::parse({"x", "--a", "true"}).get_bool("a"));
+  EXPECT_TRUE(Cli::parse({"x", "--a=1"}).get_bool("a"));
+  EXPECT_FALSE(Cli::parse({"x", "--a", "false"}).get_bool("a", true));
+  EXPECT_FALSE(Cli::parse({"x", "--a=0"}).get_bool("a", true));
+  EXPECT_THROW(Cli::parse({"x", "--a", "maybe"}).get_bool("a"),
+               std::invalid_argument);
+}
+
+TEST(CliTest, NegativeAndMalformedIntegers) {
+  auto cli = Cli::parse({"x", "--v", "-12"});
+  EXPECT_EQ(cli.get_int("v", 0), -12);
+  EXPECT_THROW(cli.get_uint("v", 0), std::invalid_argument);
+  auto bad = Cli::parse({"x", "--v", "12abc"});
+  EXPECT_THROW(bad.get_int("v", 0), std::invalid_argument);
+}
+
+TEST(CliTest, DuplicateAndMalformedFlagsRejected) {
+  EXPECT_THROW(Cli::parse({"x", "--a", "1", "--a", "2"}),
+               std::invalid_argument);
+  EXPECT_THROW(Cli::parse({"x", "stray"}), std::invalid_argument);
+  EXPECT_THROW(Cli::parse({"x", "--"}), std::invalid_argument);
+}
+
+TEST(CliTest, NoSubcommand) {
+  auto cli = Cli::parse({"--p", "4"});
+  EXPECT_EQ(cli.command(), "");
+  EXPECT_EQ(cli.get_uint("p", 0), 4u);
+}
+
+TEST(CliTest, UnusedFlagsReported) {
+  auto cli = Cli::parse({"sort", "--p", "4", "--typo", "8"});
+  EXPECT_EQ(cli.get_uint("p", 0), 4u);
+  auto unused = cli.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliTest, ValuelessFlagBeforeAnotherFlag) {
+  auto cli = Cli::parse({"x", "--verbose", "--p", "3"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_uint("p", 0), 3u);
+}
+
+}  // namespace
+}  // namespace mcb::util

@@ -1,0 +1,224 @@
+// Tests of the distributed Columnsort for even distributions (Section 5.2):
+// correctness against a sorting oracle over a parameter sweep, the paper's
+// Theta(n) message / Theta(n/k) cycle bounds, collision-freedom (implicit:
+// the simulator throws on any collision), and the fewer-columns fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/columnsort_even.hpp"
+#include "algo/common.hpp"
+#include "util/random.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::algo {
+namespace {
+
+struct Shape {
+  std::size_t p, k, ni;
+};
+
+std::vector<Word> flatten_sorted_desc(const std::vector<std::vector<Word>>& v) {
+  std::vector<Word> all;
+  for (const auto& x : v) all.insert(all.end(), x.begin(), x.end());
+  std::sort(all.begin(), all.end(), std::greater<Word>{});
+  return all;
+}
+
+void expect_sorted_outputs(const std::vector<std::vector<Word>>& inputs,
+                           const std::vector<std::vector<Word>>& outputs) {
+  ASSERT_EQ(inputs.size(), outputs.size());
+  const auto expect = flatten_sorted_desc(inputs);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    ASSERT_EQ(outputs[i].size(), inputs[i].size()) << "P" << i + 1;
+    for (Word w : outputs[i]) {
+      EXPECT_EQ(w, expect[at]) << "P" << i + 1 << " rank " << at;
+      ++at;
+    }
+  }
+}
+
+class EvenSortSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(EvenSortSweep, SortsAndMeetsBounds) {
+  const auto [p, k, ni] = GetParam();
+  const std::size_t n = p * ni;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto w = util::make_workload(n, p, util::Shape::kEven, seed);
+    auto res = columnsort_even({.p = p, .k = k}, w.inputs);
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+
+    // Theta(n) messages: generous constant covering gather + 4 transforms +
+    // double redistribute.
+    EXPECT_LE(res.run.stats.messages, 8 * n) << "p=" << p << " k=" << k;
+    // Theta(n/kk) cycles (kk = columns actually used).
+    const std::size_t kk = res.columns;
+    EXPECT_LE(res.run.stats.cycles, 8 * (n / kk) + 8 * kk * kk)
+        << "p=" << p << " k=" << k << " kk=" << kk;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EvenSortSweep,
+    ::testing::ValuesIn(std::vector<Shape>{
+        // p == k cases (direct Columnsort, no gather)
+        {4, 4, 48},     // m = 48, k = 4: comfortably valid
+        {4, 4, 12},     // m = 12 = k(k-1): the boundary
+        {2, 2, 2},      // minimal
+        {8, 8, 56},     // m = k(k-1) boundary at k = 8
+        {8, 8, 64},
+        // p > k cases (gather + redistribute)
+        {8, 2, 4},
+        {16, 4, 16},
+        {16, 4, 13},    // n/kk not a multiple of kk: padding path
+        {32, 8, 49},
+        {64, 8, 10},
+        {12, 3, 17},
+        // k = 1: single channel, single column
+        {4, 1, 8},
+        {7, 1, 5},
+        // small n forcing the fewer-columns fallback
+        {16, 8, 2},     // n = 32 < k^2(k-1) = 448
+        {32, 16, 4},    // n = 128 < 16^2*15
+    }),
+    [](const auto& pinfo) {
+      return "p" + std::to_string(pinfo.param.p) + "_k" +
+             std::to_string(pinfo.param.k) + "_ni" +
+             std::to_string(pinfo.param.ni);
+    });
+
+TEST(ColumnsortEvenTest, ChooseColumnsPrefersFullWidth) {
+  // Plenty of data: use all k channels.
+  EXPECT_EQ(choose_columns(4096, 16, 4), 4u);
+  // n below k^2(k-1): fall back to fewer columns.
+  EXPECT_LT(choose_columns(32, 16, 8), 8u);
+  // Always at least one column.
+  EXPECT_EQ(choose_columns(16, 16, 16), 2u);  // m=8 >= 2*1, kk=2 feasible
+}
+
+TEST(ColumnsortEvenTest, ExplicitColumnOverride) {
+  auto w = util::make_workload(64, 8, util::Shape::kEven, 1);
+  auto res = columnsort_even({.p = 8, .k = 4}, w.inputs, {.columns = 2});
+  EXPECT_EQ(res.columns, 2u);
+  expect_sorted_outputs(w.inputs, res.run.outputs);
+}
+
+TEST(ColumnsortEvenTest, InfeasibleOverrideRejected) {
+  auto w = util::make_workload(64, 8, util::Shape::kEven, 1);
+  // 3 does not divide p=8.
+  EXPECT_THROW(columnsort_even({.p = 8, .k = 4}, w.inputs, {.columns = 3}),
+               std::invalid_argument);
+  // 4 columns with only 64 elements: m = 16 >= 4*3 holds, so 4 is fine,
+  // but k=2 caps it.
+  EXPECT_THROW(columnsort_even({.p = 8, .k = 2}, w.inputs, {.columns = 4}),
+               std::invalid_argument);
+}
+
+TEST(ColumnsortEvenTest, UnevenInputRejected) {
+  std::vector<std::vector<Word>> inputs{{1, 2}, {3}};
+  EXPECT_THROW(columnsort_even({.p = 2, .k = 2}, inputs),
+               std::invalid_argument);
+}
+
+TEST(ColumnsortEvenTest, DummyValueRejected) {
+  std::vector<std::vector<Word>> inputs{{1}, {kDummy}};
+  EXPECT_THROW(columnsort_even({.p = 2, .k = 2}, inputs),
+               std::invalid_argument);
+}
+
+TEST(ColumnsortEvenTest, DuplicateValuesSortCorrectly) {
+  // The paper assumes distinct elements w.l.o.g.; the implementation handles
+  // duplicates directly (comparison sorting needs no tie-breaking).
+  std::vector<std::vector<Word>> inputs{
+      {5, 5, 1, 1}, {3, 3, 3, 3}, {5, 1, 3, 5}, {2, 2, 4, 4}};
+  auto res = columnsort_even({.p = 4, .k = 4}, inputs);
+  expect_sorted_outputs(inputs, res.run.outputs);
+}
+
+TEST(ColumnsortEvenTest, AlreadySortedAndReversed) {
+  const std::size_t p = 8, k = 4, ni = 16;
+  std::vector<std::vector<Word>> desc(p), asc(p);
+  Word v = static_cast<Word>(p * ni);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t e = 0; e < ni; ++e) {
+      desc[i].push_back(v--);
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    asc[i] = desc[p - 1 - i];
+    std::reverse(asc[i].begin(), asc[i].end());
+  }
+  for (const auto& inputs : {desc, asc}) {
+    auto res = columnsort_even({.p = p, .k = k}, inputs);
+    expect_sorted_outputs(inputs, res.run.outputs);
+  }
+}
+
+TEST(ColumnsortEvenTest, PhaseAccountingPresent) {
+  auto w = util::make_workload(256, 16, util::Shape::kEven, 2);
+  auto res = columnsort_even({.p = 16, .k = 4}, w.inputs);
+  const auto* ph = res.run.stats.phase("even-columnsort");
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->cycles, res.run.stats.cycles);
+  EXPECT_EQ(ph->messages, res.run.stats.messages);
+}
+
+TEST(ColumnsortEvenTest, DirectPEqualsKSkipsGatherAndRedistribute) {
+  // p == k and k | ni: no padding, so only the four transformation phases
+  // cost cycles (gather and redistribute are skipped entirely). Transpose
+  // and un-diagonalize need <= m rounds each, the two shifts <= m/2: the
+  // whole run fits in 3m cycles.
+  const std::size_t ni = 48;
+  auto w = util::make_workload(4 * ni, 4, util::Shape::kEven, 3);
+  auto res = columnsort_even({.p = 4, .k = 4}, w.inputs);
+  EXPECT_EQ(res.column_len, ni);
+  EXPECT_LE(res.run.stats.cycles, 3 * ni);
+  expect_sorted_outputs(w.inputs, res.run.outputs);
+}
+
+TEST(ColumnsortEvenTest, UntransposeVariantSortsDistributed) {
+  auto w = util::make_workload(512, 16, util::Shape::kEven, 4);
+  auto res = columnsort_even(
+      {.p = 16, .k = 4}, w.inputs,
+      {.variant = seq::ColumnsortVariant::kUntranspose});
+  expect_sorted_outputs(w.inputs, res.run.outputs);
+}
+
+TEST(ColumnsortEvenTest, PaperVariantAdmitsMoreColumns) {
+  // With n = 512 and k = 8: un-diagonalize allows kk = 8 (m = 64 >= 56);
+  // untranspose needs m >= 2*49 = 98, capping kk at 4.
+  EXPECT_EQ(choose_columns(512, 8, 8,
+                           seq::ColumnsortVariant::kUndiagonalize), 8u);
+  EXPECT_LT(choose_columns(512, 8, 8,
+                           seq::ColumnsortVariant::kUntranspose), 8u);
+}
+
+TEST(ColumnsortEvenTest, PairSortCarriesValues) {
+  // Sort (key, value) pairs; values must follow their keys.
+  const std::size_t p = 8, ni = 8;
+  util::Xoshiro256StarStar rng(17);
+  std::vector<std::vector<KV>> inputs(p);
+  std::vector<KV> all;
+  for (auto& in : inputs) {
+    for (std::size_t e = 0; e < ni; ++e) {
+      KV kv{rng.uniform(-1000, 1000), rng.uniform(0, 99)};
+      in.push_back(kv);
+      all.push_back(kv);
+    }
+  }
+  auto res = columnsort_even_pairs({.p = p, .k = 4}, inputs);
+  std::sort(all.begin(), all.end(),
+            [](const KV& a, const KV& b) { return desc_before(a, b); });
+  std::size_t at = 0;
+  for (const auto& out : res.outputs) {
+    for (const KV& e : out) {
+      EXPECT_EQ(e, all[at]) << "rank " << at;
+      ++at;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcb::algo

@@ -1,0 +1,289 @@
+// Tests of the transformation permutations (Section 5.1, Figure 1) and the
+// reference in-memory Columnsort, including an empirical sweep of the
+// dimension-validity region m >= k(k-1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "seq/columnsort.hpp"
+#include "seq/matrix.hpp"
+#include "sched/permutation.hpp"
+#include "util/random.hpp"
+
+namespace mcb {
+namespace {
+
+using sched::Transform;
+
+std::vector<Word> iota_matrix(std::size_t m, std::size_t k) {
+  std::vector<Word> v(m * k);
+  std::iota(v.begin(), v.end(), Word{0});
+  return v;
+}
+
+// --- permutation properties -------------------------------------------------
+
+class TransformTest
+    : public ::testing::TestWithParam<std::tuple<Transform, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(TransformTest, TableIsAPermutation) {
+  auto [t, m, k] = GetParam();
+  auto table = sched::permutation_table(t, m, k);
+  EXPECT_TRUE(sched::is_permutation_table(table))
+      << sched::to_string(t) << " m=" << m << " k=" << k;
+}
+
+TEST_P(TransformTest, TableMatchesPointQueries) {
+  auto [t, m, k] = GetParam();
+  auto table = sched::permutation_table(t, m, k);
+  for (std::size_t ell = 0; ell < m * k; ++ell) {
+    EXPECT_EQ(table[ell], sched::transform_index(t, ell, m, k)) << ell;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, TransformTest,
+    ::testing::Combine(::testing::Values(Transform::kTranspose,
+                                         Transform::kUndiagonalize,
+                                         Transform::kUpShift,
+                                         Transform::kDownShift,
+                                         Transform::kUntranspose),
+                       ::testing::Values<std::size_t>(4, 8, 12, 20),
+                       ::testing::Values<std::size_t>(2, 4)),
+    [](const auto& pinfo) {
+      return std::string(1,
+                         "TUSDN"[static_cast<int>(std::get<0>(pinfo.param))]) +
+             "_m" + std::to_string(std::get<1>(pinfo.param)) + "_k" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(TransformTest, UpDownShiftAreInverses) {
+  for (std::size_t m : {4u, 10u}) {
+    for (std::size_t k : {2u, 5u}) {
+      auto up = sched::permutation_table(Transform::kUpShift, m, k);
+      auto down = sched::permutation_table(Transform::kDownShift, m, k);
+      for (std::size_t i = 0; i < m * k; ++i) {
+        EXPECT_EQ(down[up[i]], i);
+      }
+    }
+  }
+}
+
+TEST(TransformTest, TransposeReadsColumnsWritesRows) {
+  // 4x2 matrix, columns [0,1,2,3] and [4,5,6,7]: reading column-major gives
+  // 0..7; writing row-major into 4x2 means element q lands at row q/2,
+  // col q%2.
+  const std::size_t m = 4, k = 2;
+  auto data = iota_matrix(m, k);
+  seq::apply_transform(Transform::kTranspose, data, m, k);
+  seq::ColMatrix mat(data, m, k);
+  for (std::size_t q = 0; q < 8; ++q) {
+    EXPECT_EQ(mat.at(q / k, q % k), static_cast<Word>(q));
+  }
+}
+
+TEST(TransformTest, UndiagonalizeMatchesPaperOrder) {
+  // Section 5.1: elements taken in (column,row) order (1,1),(2,1),(1,2),
+  // (3,1),(2,2),(1,3),... and stored column after column. With a 4x3 iota
+  // matrix (column-major values = linear index), the first stored column
+  // must be the first m elements of that diagonal enumeration.
+  const std::size_t m = 4, k = 3;
+  auto data = iota_matrix(m, k);
+  seq::apply_transform(Transform::kUndiagonalize, data, m, k);
+  seq::ColMatrix mat(data, m, k);
+  // Diagonal enumeration of source cells (c,r) 0-based, c descending:
+  // d=0:(0,0)  d=1:(1,0),(0,1)  d=2:(2,0),(1,1),(0,2)  d=3:(2,1),(1,2),(0,3)
+  // d=4:(2,2),(1,3)  d=5:(2,3)
+  // Source linear values (c*m+r): 0 | 4,1 | 8,5,2 | 9,6,3 | 10,7 | 11.
+  const std::vector<Word> expected{0, 4, 1, 8, 5, 2, 9, 6, 3, 10, 7, 11};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(mat.at(i % m, i / m), expected[i]) << "position " << i;
+  }
+}
+
+TEST(TransformTest, UpShiftMovesBottomHalfToNextColumn) {
+  const std::size_t m = 4, k = 3;
+  auto data = iota_matrix(m, k);
+  seq::apply_transform(Transform::kUpShift, data, m, k);
+  seq::ColMatrix mat(data, m, k);
+  // Shift by floor(m/2)=2 in ascending column-major direction; the last 2
+  // elements (10, 11) wrap to the start.
+  EXPECT_EQ(mat.at(0, 0), 10);
+  EXPECT_EQ(mat.at(1, 0), 11);
+  EXPECT_EQ(mat.at(2, 0), 0);
+  EXPECT_EQ(mat.at(3, 0), 1);
+  EXPECT_EQ(mat.at(0, 1), 2);
+  EXPECT_EQ(mat.at(3, 2), 9);
+}
+
+TEST(TransformTest, TransposeRequiresDivisibility) {
+  EXPECT_THROW(sched::transform_index(Transform::kTranspose, 0, 5, 2),
+               std::invalid_argument);
+}
+
+// --- Columnsort correctness -------------------------------------------------
+
+void expect_sorts(std::size_t m, std::size_t k, std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<Word> v(m * k);
+  for (auto& x : v) x = rng.uniform(-10000, 10000);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end(), std::greater<Word>{});
+  seq::columnsort(v, m, k);
+  EXPECT_EQ(v, expect) << "m=" << m << " k=" << k << " seed=" << seed;
+}
+
+TEST(ColumnsortTest, SortsAtMinimumValidDimensions) {
+  // m = k(k-1) exactly, the paper's boundary, padded up to a multiple of k.
+  for (std::size_t k : {2u, 3u, 4u, 5u, 8u}) {
+    std::size_t m = k * (k - 1);
+    m = (m + k - 1) / k * k;  // k | m
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      expect_sorts(m, k, seed);
+    }
+  }
+}
+
+TEST(ColumnsortTest, SortsAtComfortableDimensions) {
+  for (auto [m, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {8, 2}, {16, 4}, {64, 4}, {56, 7}, {256, 8}, {240, 6}}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      expect_sorts(m, k, seed);
+    }
+  }
+}
+
+TEST(ColumnsortTest, SingleColumnDegenerates) {
+  expect_sorts(17, 1, 0);
+}
+
+TEST(ColumnsortTest, AllEqualAndAlreadySorted) {
+  const std::size_t m = 16, k = 4;
+  std::vector<Word> equal(m * k, 3);
+  seq::columnsort(equal, m, k);
+  EXPECT_TRUE(std::all_of(equal.begin(), equal.end(),
+                          [](Word w) { return w == 3; }));
+
+  std::vector<Word> sorted(m * k);
+  std::iota(sorted.begin(), sorted.end(), Word{0});
+  std::reverse(sorted.begin(), sorted.end());
+  auto expect = sorted;
+  seq::columnsort(sorted, m, k);
+  EXPECT_EQ(sorted, expect);
+}
+
+TEST(ColumnsortTest, RejectsInvalidDimensions) {
+  std::vector<Word> v(12);
+  EXPECT_THROW(seq::columnsort(v, 4, 3), std::invalid_argument);  // m < k(k-1)
+  std::vector<Word> w(14);
+  EXPECT_THROW(seq::columnsort(w, 7, 2), std::invalid_argument);  // k !| m
+  std::vector<Word> x(10);
+  EXPECT_THROW(seq::columnsort(x, 4, 2), std::invalid_argument);  // size wrong
+}
+
+TEST(ColumnsortTest, DimsOkPredicate) {
+  EXPECT_TRUE(seq::columnsort_dims_ok(2, 2));
+  EXPECT_TRUE(seq::columnsort_dims_ok(17, 1));
+  EXPECT_FALSE(seq::columnsort_dims_ok(4, 3));   // m < k(k-1)
+  EXPECT_FALSE(seq::columnsort_dims_ok(9, 2));   // k does not divide m
+  EXPECT_FALSE(seq::columnsort_dims_ok(0, 1));
+}
+
+// --- variant ablation: Leighton's untranspose vs the paper's choice --------
+
+void expect_sorts_variant(std::size_t m, std::size_t k,
+                          seq::ColumnsortVariant variant,
+                          std::uint64_t seed) {
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<Word> v(m * k);
+  for (auto& x : v) x = rng.uniform(-10000, 10000);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end(), std::greater<Word>{});
+  seq::columnsort(v, m, k, variant);
+  EXPECT_EQ(v, expect) << "m=" << m << " k=" << k << " seed=" << seed;
+}
+
+TEST(ColumnsortVariantTest, UntransposeSortsAtItsOwnBoundary) {
+  // Leighton's variant needs m >= 2(k-1)^2.
+  for (std::size_t k : {2u, 3u, 4u, 6u}) {
+    std::size_t m = 2 * (k - 1) * (k - 1);
+    m = (m + k - 1) / k * k;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      expect_sorts_variant(m, k, seq::ColumnsortVariant::kUntranspose, seed);
+    }
+  }
+}
+
+TEST(ColumnsortVariantTest, UntransposeRejectedBelowItsBoundary) {
+  // m = k(k-1) is enough for un-diagonalize but not for untranspose
+  // (for k >= 4, k(k-1) < 2(k-1)^2).
+  const std::size_t k = 4, m = k * (k - 1);  // 12 < 18
+  EXPECT_TRUE(seq::columnsort_dims_ok(m, k,
+                                      seq::ColumnsortVariant::kUndiagonalize));
+  EXPECT_FALSE(seq::columnsort_dims_ok(m, k,
+                                       seq::ColumnsortVariant::kUntranspose));
+  std::vector<Word> v(m * k, 0);
+  EXPECT_THROW(
+      seq::columnsort(v, m, k, seq::ColumnsortVariant::kUntranspose),
+      std::invalid_argument);
+}
+
+TEST(ColumnsortVariantTest, UntransposeIsInverseOfTranspose) {
+  for (auto [m, k] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {8, 2}, {16, 4}, {36, 6}}) {
+    auto t = sched::permutation_table(sched::Transform::kTranspose, m, k);
+    auto u = sched::permutation_table(sched::Transform::kUntranspose, m, k);
+    for (std::size_t i = 0; i < m * k; ++i) {
+      EXPECT_EQ(u[t[i]], i);
+      EXPECT_EQ(t[u[i]], i);
+    }
+  }
+}
+
+TEST(ColumnsortVariantTest, BothVariantsAgreeWhereBothValid) {
+  const std::size_t k = 4, m = 32;  // 32 >= 2*9 = 18 and >= 12
+  util::Xoshiro256StarStar rng(8);
+  std::vector<Word> a(m * k);
+  for (auto& x : a) x = rng.uniform(-500, 500);
+  auto b = a;
+  seq::columnsort(a, m, k, seq::ColumnsortVariant::kUndiagonalize);
+  seq::columnsort(b, m, k, seq::ColumnsortVariant::kUntranspose);
+  EXPECT_EQ(a, b);
+}
+
+// Property sweep: every valid (m, k) in a grid sorts random inputs. This is
+// the empirical check of the paper's claim that m >= k(k-1) suffices.
+class ColumnsortSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ColumnsortSweep, Sorts) {
+  auto [m, k] = GetParam();
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    expect_sorts(m, k, seed);
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> valid_grid() {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t k = 2; k <= 6; ++k) {
+    for (std::size_t mult = 1; mult <= 3; ++mult) {
+      std::size_t m = k * (k - 1) * mult;
+      m = (m + k - 1) / k * k;
+      out.emplace_back(m, k);
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ColumnsortSweep,
+                         ::testing::ValuesIn(valid_grid()),
+                         [](const auto& pinfo) {
+                           return "m" + std::to_string(pinfo.param.first) +
+                                  "_k" + std::to_string(pinfo.param.second);
+                         });
+
+}  // namespace
+}  // namespace mcb

@@ -1,0 +1,189 @@
+// Tests of Message (the O(log beta)-bit message model) and the channel
+// trace observer, plus the virtualization cost model of Section 2.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mcb/message.hpp"
+#include "mcb/network.hpp"
+#include "mcb/trace.hpp"
+#include "mcb/virtualize.hpp"
+
+namespace mcb {
+namespace {
+
+// --- Message -----------------------------------------------------------------
+
+TEST(MessageTest, SizeAndAccess) {
+  auto m = Message::of(Word{10}, Word{-3});
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(0), 10);
+  EXPECT_EQ(m[1], -3);
+  EXPECT_FALSE(m.empty());
+  EXPECT_TRUE(Message{}.empty());
+}
+
+TEST(MessageTest, CapacityEnforced) {
+  auto m = Message::of(Word{1}, Word{2}, Word{3}, Word{4});
+  EXPECT_EQ(m.size(), Message::kMaxWords);
+  EXPECT_THROW(m.push(5), std::invalid_argument);
+  EXPECT_THROW((Message{1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST(MessageTest, OutOfRangeAccessThrows) {
+  auto m = Message::of(Word{7});
+  EXPECT_THROW(m.at(1), std::invalid_argument);
+}
+
+TEST(MessageTest, Equality) {
+  EXPECT_EQ(Message::of(Word{1}, Word{2}), (Message{1, 2}));
+  EXPECT_NE(Message::of(Word{1}), (Message{1, 0}));  // size matters
+}
+
+TEST(MessageTest, Streaming) {
+  std::ostringstream os;
+  os << Message::of(Word{4}, Word{-1});
+  EXPECT_EQ(os.str(), "[4 -1]");
+}
+
+// --- ChannelTrace -------------------------------------------------------------
+
+TEST(TraceTest, CapturesWritesReadsAndSilence) {
+  ChannelTrace trace;
+  Network net({.p = 2, .k = 2}, &trace);
+  auto writer = [](Proc& self) -> ProcMain {
+    co_await self.write(0, Message::of(Word{42}));
+    co_await self.step();
+  };
+  auto reader = [](Proc& self) -> ProcMain {
+    co_await self.read(0);
+    co_await self.read(1);  // silence
+  };
+  net.install(0, writer(net.proc(0)));
+  net.install(1, reader(net.proc(1)));
+  net.run();
+
+  // Cycle 0: P1 writes C1 [42]; P2 reads C1 and hears it.
+  ASSERT_GE(trace.events().size(), 3u);
+  const auto& w0 = trace.events()[0];
+  EXPECT_EQ(w0.cycle, 0u);
+  EXPECT_EQ(w0.proc, 0u);
+  ASSERT_TRUE(w0.wrote.has_value());
+  EXPECT_EQ(*w0.wrote, 0u);
+  const auto& r0 = trace.events()[1];
+  EXPECT_EQ(r0.proc, 1u);
+  ASSERT_TRUE(r0.received.has_value());
+  EXPECT_EQ(r0.received->at(0), 42);
+  // Cycle 1: P2 reads C2, silence.
+  const auto& r1 = trace.events()[2];
+  EXPECT_EQ(r1.cycle, 1u);
+  EXPECT_FALSE(r1.received.has_value());
+
+  const auto text = trace.render(2);
+  EXPECT_NE(text.find("P1 -> C1 [42]"), std::string::npos);
+  EXPECT_NE(text.find("(silence)"), std::string::npos);
+  EXPECT_FALSE(trace.truncated());
+}
+
+TEST(TraceTest, CapacityTruncates) {
+  ChannelTrace trace(/*capacity=*/2);
+  Network net({.p = 1, .k = 1}, &trace);
+  auto prog = [](Proc& self) -> ProcMain {
+    for (int i = 0; i < 10; ++i) {
+      co_await self.write(0, Message::of(Word{i}));
+    }
+  };
+  net.install(0, prog(net.proc(0)));
+  net.run();
+  EXPECT_EQ(trace.events().size(), 2u);
+  EXPECT_TRUE(trace.truncated());
+  EXPECT_NE(trace.render(1).find("truncated"), std::string::npos);
+}
+
+// --- RunStats rendering --------------------------------------------------------
+
+TEST(StatsTest, SummaryAndPhaseLookup) {
+  RunStats st;
+  st.cycles = 10;
+  st.messages = 42;
+  st.peak_aux_words = {3, 9, 1};
+  st.phases.push_back(PhaseStats{"alpha", 0, 4, 20});
+  st.phases.push_back(PhaseStats{"beta", 4, 6, 22});
+  EXPECT_EQ(st.max_peak_aux(), 9u);
+  ASSERT_NE(st.phase("alpha"), nullptr);
+  EXPECT_EQ(st.phase("alpha")->messages, 20u);
+  EXPECT_EQ(st.phase("gamma"), nullptr);
+  const auto text = st.summary();
+  EXPECT_NE(text.find("cycles=10"), std::string::npos);
+  EXPECT_NE(text.find("phase beta"), std::string::npos);
+}
+
+TEST(StatsTest, RepeatedPhasesAggregate) {
+  // The selection loop marks "filter" every iteration; the network must
+  // fold repetitions into one entry.
+  Network net({.p = 1, .k = 1});
+  auto prog = [](Proc& self) -> ProcMain {
+    for (int round = 0; round < 3; ++round) {
+      self.mark_phase("loop");
+      co_await self.write(0, Message::of(Word{round}));
+      co_await self.step();
+    }
+  };
+  net.install(0, prog(net.proc(0)));
+  auto stats = net.run();
+  ASSERT_EQ(stats.phases.size(), 1u);
+  EXPECT_EQ(stats.phases[0].name, "loop");
+  EXPECT_EQ(stats.phases[0].cycles, 6u);
+  EXPECT_EQ(stats.phases[0].messages, 3u);
+}
+
+// --- virtualization cost -------------------------------------------------------
+
+TEST(VirtualizeTest, IdentityIsFree) {
+  RunStats stats;
+  stats.cycles = 100;
+  stats.messages = 500;
+  auto cost = virtualization_cost({.p = 8, .k = 4}, {.p = 8, .k = 4}, stats);
+  EXPECT_EQ(cost.hosts, 1u);
+  EXPECT_EQ(cost.channel_mux, 1u);
+  EXPECT_EQ(cost.real_cycles, 100u);
+  EXPECT_EQ(cost.real_messages, 500u);
+  EXPECT_DOUBLE_EQ(cost.cycle_overhead(stats), 1.0);
+}
+
+TEST(VirtualizeTest, ChannelOnlyMatchesPaperBound) {
+  RunStats stats;
+  stats.cycles = 100;
+  stats.messages = 500;
+  auto cost =
+      virtualization_cost({.p = 8, .k = 2}, {.p = 8, .k = 8}, stats);
+  EXPECT_EQ(cost.hosts, 1u);
+  EXPECT_EQ(cost.channel_mux, 4u);
+  EXPECT_EQ(cost.real_cycles, 400u);   // exactly (k'/k) * cycles
+  EXPECT_EQ(cost.real_messages, 500u);  // no repeats needed
+}
+
+TEST(VirtualizeTest, HostingPaysQuadraticCycles) {
+  RunStats stats;
+  stats.cycles = 10;
+  stats.messages = 70;
+  auto cost =
+      virtualization_cost({.p = 4, .k = 2}, {.p = 16, .k = 4}, stats);
+  EXPECT_EQ(cost.hosts, 4u);
+  EXPECT_EQ(cost.channel_mux, 2u);
+  EXPECT_EQ(cost.real_cycles, 10u * 4 * 4 * 2);
+  EXPECT_EQ(cost.real_messages, 70u * 4);
+}
+
+TEST(VirtualizeTest, RejectsShrinkingTheWrongWay) {
+  RunStats stats;
+  EXPECT_THROW(
+      virtualization_cost({.p = 16, .k = 4}, {.p = 8, .k = 4}, stats),
+      std::invalid_argument);
+  EXPECT_THROW(
+      virtualization_cost({.p = 8, .k = 8}, {.p = 8, .k = 4}, stats),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcb

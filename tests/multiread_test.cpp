@@ -1,0 +1,124 @@
+// Tests of the Section-9 model extension: reading all channels in one
+// cycle (SimConfig::multi_read), and the central-sort demonstration that
+// the extension speeds up gathering but cannot beat Columnsort overall.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/baselines.hpp"
+#include "algo/columnsort_even.hpp"
+#include "mcb/network.hpp"
+#include "util/workload.hpp"
+
+namespace mcb {
+namespace {
+
+TEST(MultiReadTest, ReadsAllChannelsInOneCycle) {
+  Network net({.p = 4, .k = 3, .multi_read = true});
+  std::vector<Word> heard;
+  auto writer = [](Proc& self, ChannelId ch) -> ProcMain {
+    co_await self.write(ch, Message::of(Word(100 + ch)));
+  };
+  auto reader = [](Proc& self, std::vector<Word>& out) -> ProcMain {
+    auto got = co_await self.cycle_all(std::nullopt);
+    for (const auto& m : got) {
+      if (m) out.push_back(m->at(0));
+    }
+  };
+  net.install(0, writer(net.proc(0), 0));
+  net.install(1, writer(net.proc(1), 1));
+  net.install(2, writer(net.proc(2), 2));
+  net.install(3, reader(net.proc(3), heard));
+  auto stats = net.run();
+  EXPECT_EQ(stats.cycles, 1u);
+  EXPECT_EQ(heard, (std::vector<Word>{100, 101, 102}));
+}
+
+TEST(MultiReadTest, SilentChannelsAreNullopt) {
+  Network net({.p = 2, .k = 2, .multi_read = true});
+  std::size_t heard = 0;
+  auto writer = [](Proc& self) -> ProcMain {
+    co_await self.write(1, Message::of(Word{5}));
+  };
+  auto reader = [](Proc& self, std::size_t& count) -> ProcMain {
+    auto got = co_await self.cycle_all(std::nullopt);
+    for (const auto& m : got) {
+      if (m) ++count;
+    }
+  };
+  net.install(0, writer(net.proc(0)));
+  net.install(1, reader(net.proc(1), heard));
+  net.run();
+  EXPECT_EQ(heard, 1u);
+}
+
+TEST(MultiReadTest, WriteAndMultiReadInOneCycle) {
+  Network net({.p = 2, .k = 2, .multi_read = true});
+  std::vector<Word> heard;
+  auto both = [](Proc& self, std::vector<Word>& out) -> ProcMain {
+    auto got = co_await self.cycle_all(
+        WriteOp{0, Message::of(Word{7})});
+    for (const auto& m : got) {
+      if (m) out.push_back(m->at(0));
+    }
+  };
+  auto writer = [](Proc& self) -> ProcMain {
+    co_await self.write(1, Message::of(Word{9}));
+  };
+  net.install(0, both(net.proc(0), heard));
+  net.install(1, writer(net.proc(1)));
+  net.run();
+  // The multi-reader hears both channels — including its own write.
+  std::sort(heard.begin(), heard.end());
+  EXPECT_EQ(heard, (std::vector<Word>{7, 9}));
+}
+
+TEST(MultiReadTest, RejectedWhenDisabled) {
+  Network net({.p = 1, .k = 1});  // multi_read defaults to false
+  auto prog = [](Proc& self) -> ProcMain {
+    co_await self.cycle_all(std::nullopt);
+  };
+  net.install(0, prog(net.proc(0)));
+  EXPECT_THROW(net.run(), std::invalid_argument);
+}
+
+TEST(MultiReadCentralSortTest, SortsCorrectly) {
+  auto w = util::make_workload(512, 16, util::Shape::kEven, 3);
+  auto res = algo::central_sort_multiread(
+      {.p = 16, .k = 4, .multi_read = true}, w.inputs);
+  std::vector<Word> flat;
+  for (const auto& out : res.outputs) {
+    flat.insert(flat.end(), out.begin(), out.end());
+  }
+  EXPECT_TRUE(std::is_sorted(flat.begin(), flat.end(), std::greater<Word>{}));
+  EXPECT_EQ(flat.size(), 512u);
+}
+
+TEST(MultiReadCentralSortTest, GatherSpeedsUpButTotalStaysLinear) {
+  const std::size_t n = 8192, p = 32, k = 8;
+  auto w = util::make_workload(n, p, util::Shape::kEven, 4);
+  auto multi = algo::central_sort_multiread(
+      {.p = p, .k = k, .multi_read = true}, w.inputs);
+  auto single = algo::central_sort({.p = p, .k = k}, w.inputs);
+
+  // The multi-read gather is ~k times faster than the single-read gather.
+  const auto* mg = multi.stats.phase("gather-multiread");
+  const auto* sg = single.stats.phase("gather");
+  ASSERT_NE(mg, nullptr);
+  ASSERT_NE(sg, nullptr);
+  EXPECT_LT(mg->cycles * (k / 2), sg->cycles);
+
+  // ... but the scatter bottleneck keeps the total Theta(n): Columnsort in
+  // the STANDARD model still wins. This is Section 9's closing point.
+  auto cs = algo::columnsort_even({.p = p, .k = k}, w.inputs);
+  EXPECT_LT(cs.run.stats.cycles, multi.stats.cycles);
+}
+
+TEST(MultiReadCentralSortTest, RequiresTheExtension) {
+  auto w = util::make_workload(64, 8, util::Shape::kEven, 1);
+  EXPECT_THROW(algo::central_sort_multiread({.p = 8, .k = 2}, w.inputs),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcb

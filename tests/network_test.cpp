@@ -1,0 +1,378 @@
+// Unit tests of the MCB network simulator: cycle semantics, broadcast
+// delivery, silence detection, collision faults, skip scheduling, stats
+// accounting, task composition and error propagation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "mcb/errors.hpp"
+#include "mcb/network.hpp"
+#include "util/check.hpp"
+
+namespace mcb {
+namespace {
+
+// --- tiny protocols used as fixtures ---------------------------------------
+
+ProcMain idle_program(Proc& self, Cycle steps) {
+  for (Cycle t = 0; t < steps; ++t) {
+    co_await self.step();
+  }
+}
+
+ProcMain send_one(Proc& self, ChannelId ch, Word value) {
+  co_await self.write(ch, Message::of(value));
+}
+
+ProcMain recv_one(Proc& self, ChannelId ch, std::vector<Word>& out) {
+  auto got = co_await self.read(ch);
+  if (got) out.push_back(got->at(0));
+}
+
+TEST(NetworkTest, EmptyProgramsFinishInZeroCycles) {
+  Network net({.p = 4, .k = 2});
+  for (ProcId i = 0; i < 4; ++i) {
+    net.install(i, idle_program(net.proc(i), 0));
+  }
+  auto stats = net.run();
+  EXPECT_EQ(stats.cycles, 0u);
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+TEST(NetworkTest, IdleProgramsCountCycles) {
+  Network net({.p = 3, .k = 1});
+  net.install(0, idle_program(net.proc(0), 5));
+  net.install(1, idle_program(net.proc(1), 2));
+  net.install(2, idle_program(net.proc(2), 7));
+  auto stats = net.run();
+  EXPECT_EQ(stats.cycles, 7u);  // quiescence when the longest program ends
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+TEST(NetworkTest, BroadcastReachesAllReaders) {
+  // One writer, three concurrent readers on the same channel: one message,
+  // all readers observe it (concurrent read is allowed by the model).
+  Network net({.p = 4, .k = 2});
+  std::vector<Word> got[4];
+  net.install(0, send_one(net.proc(0), 1, 42));
+  for (ProcId i = 1; i < 4; ++i) {
+    net.install(i, recv_one(net.proc(i), 1, got[i]));
+  }
+  auto stats = net.run();
+  EXPECT_EQ(stats.cycles, 1u);
+  EXPECT_EQ(stats.messages, 1u);
+  for (ProcId i = 1; i < 4; ++i) {
+    ASSERT_EQ(got[i].size(), 1u) << "P" << i + 1;
+    EXPECT_EQ(got[i][0], 42);
+  }
+}
+
+TEST(NetworkTest, SilenceIsObservable) {
+  // Reading a channel nobody wrote yields nullopt, not a stale message.
+  Network net({.p = 2, .k = 1});
+  std::vector<Word> got;
+  net.install(0, idle_program(net.proc(0), 1));
+  net.install(1, recv_one(net.proc(1), 0, got));
+  net.run();
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(NetworkTest, ChannelsAreMemoryless) {
+  // P0 writes in cycle 0; P1 reads the same channel in cycle 1: silence.
+  Network net({.p = 2, .k = 1});
+  std::vector<Word> got;
+  auto late_reader = [](Proc& self, std::vector<Word>& out) -> ProcMain {
+    co_await self.step();
+    auto m = co_await self.read(0);
+    if (m) out.push_back(m->at(0));
+  };
+  net.install(0, send_one(net.proc(0), 0, 7));
+  net.install(1, late_reader(net.proc(1), got));
+  net.run();
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(NetworkTest, WriterAlsoReadsInSameCycle) {
+  // A processor may write one channel and read another in the same cycle.
+  Network net({.p = 2, .k = 2});
+  std::vector<Word> got0, got1;
+  auto xchg = [](Proc& self, ChannelId wch, ChannelId rch, Word v,
+                 std::vector<Word>& out) -> ProcMain {
+    auto m = co_await self.write_read(wch, Message::of(v), rch);
+    if (m) out.push_back(m->at(0));
+  };
+  net.install(0, xchg(net.proc(0), 0, 1, 10, got0));
+  net.install(1, xchg(net.proc(1), 1, 0, 20, got1));
+  auto stats = net.run();
+  EXPECT_EQ(stats.cycles, 1u);
+  EXPECT_EQ(stats.messages, 2u);
+  ASSERT_EQ(got0.size(), 1u);
+  ASSERT_EQ(got1.size(), 1u);
+  EXPECT_EQ(got0[0], 20);
+  EXPECT_EQ(got1[0], 10);
+}
+
+TEST(NetworkTest, CollisionThrows) {
+  Network net({.p = 2, .k = 1});
+  net.install(0, send_one(net.proc(0), 0, 1));
+  net.install(1, send_one(net.proc(1), 0, 2));
+  try {
+    net.run();
+    FAIL() << "expected CollisionError";
+  } catch (const CollisionError& e) {
+    EXPECT_EQ(e.cycle(), 0u);
+    EXPECT_EQ(e.channel(), 0u);
+    EXPECT_EQ(e.first_writer(), 0u);
+    EXPECT_EQ(e.second_writer(), 1u);
+  }
+}
+
+TEST(NetworkTest, SkipMatchesSteps) {
+  // skip(t) must be cycle-for-cycle equivalent to t steps: a writer waits
+  // 5 cycles via skip, then writes; the reader polls every cycle.
+  Network net({.p = 2, .k = 1});
+  auto skipper = [](Proc& self) -> ProcMain {
+    co_await self.skip(5);
+    co_await self.write(0, Message::of(99));
+  };
+  std::vector<Cycle> heard_at;
+  auto poller = [](Proc& self, std::vector<Cycle>& at) -> ProcMain {
+    for (int t = 0; t < 8; ++t) {
+      auto m = co_await self.read(0);
+      if (m) at.push_back(self.now() - 1);
+    }
+  };
+  net.install(0, skipper(net.proc(0)));
+  net.install(1, poller(net.proc(1), heard_at));
+  net.run();
+  ASSERT_EQ(heard_at.size(), 1u);
+  EXPECT_EQ(heard_at[0], 5u);  // cycles 0..4 skipped, write lands in cycle 5
+}
+
+TEST(NetworkTest, SkipZeroIsNoop) {
+  Network net({.p = 1, .k = 1});
+  auto prog = [](Proc& self) -> ProcMain {
+    co_await self.skip(0);  // must not consume a cycle
+    co_await self.step();
+  };
+  net.install(0, prog(net.proc(0)));
+  auto stats = net.run();
+  EXPECT_EQ(stats.cycles, 1u);
+}
+
+TEST(NetworkTest, PerProcAndPerChannelMessageCounts) {
+  Network net({.p = 3, .k = 2});
+  auto prog = [](Proc& self, ChannelId ch, int count) -> ProcMain {
+    for (int i = 0; i < count; ++i) {
+      co_await self.write(ch, Message::of(i));
+    }
+  };
+  // Stagger: P0 writes C0 twice; P1 writes C1 three times; P2 silent.
+  net.install(0, prog(net.proc(0), 0, 2));
+  net.install(1, prog(net.proc(1), 1, 3));
+  net.install(2, prog(net.proc(2), 0, 0));
+  auto stats = net.run();
+  EXPECT_EQ(stats.messages, 5u);
+  EXPECT_EQ(stats.messages_per_proc[0], 2u);
+  EXPECT_EQ(stats.messages_per_proc[1], 3u);
+  EXPECT_EQ(stats.messages_per_proc[2], 0u);
+  EXPECT_EQ(stats.messages_per_channel[0], 2u);
+  EXPECT_EQ(stats.messages_per_channel[1], 3u);
+}
+
+// --- Task composition -------------------------------------------------------
+
+Task<Word> sub_reader(Proc& self, ChannelId ch) {
+  auto m = co_await self.read(ch);
+  co_return m ? m->at(0) : Word{-1};
+}
+
+Task<void> sub_writer(Proc& self, ChannelId ch, Word v) {
+  co_await self.write(ch, Message::of(v));
+}
+
+TEST(NetworkTest, TaskCompositionRoundTrip) {
+  Network net({.p = 2, .k = 1});
+  Word got = 0;
+  auto writer = [](Proc& self) -> ProcMain {
+    co_await sub_writer(self, 0, 123);
+    co_await sub_writer(self, 0, 456);
+  };
+  auto reader = [](Proc& self, Word& out) -> ProcMain {
+    Word a = co_await sub_reader(self, 0);
+    Word b = co_await sub_reader(self, 0);
+    out = a * 1000 + b;
+  };
+  net.install(0, writer(net.proc(0)));
+  net.install(1, reader(net.proc(1), got));
+  auto stats = net.run();
+  EXPECT_EQ(stats.cycles, 2u);
+  EXPECT_EQ(got, 123 * 1000 + 456);
+}
+
+Task<int> nested_inner(Proc& self) {
+  co_await self.step();
+  co_return 7;
+}
+
+Task<int> nested_outer(Proc& self) {
+  int a = co_await nested_inner(self);
+  int b = co_await nested_inner(self);
+  co_return a + b;
+}
+
+TEST(NetworkTest, DeeplyNestedTasks) {
+  Network net({.p = 1, .k = 1});
+  int result = 0;
+  auto prog = [](Proc& self, int& out) -> ProcMain {
+    out = co_await nested_outer(self);
+  };
+  net.install(0, prog(net.proc(0), result));
+  auto stats = net.run();
+  EXPECT_EQ(result, 14);
+  EXPECT_EQ(stats.cycles, 2u);
+}
+
+TEST(NetworkTest, ExceptionInProgramPropagates) {
+  Network net({.p = 2, .k = 1});
+  auto thrower = [](Proc& self) -> ProcMain {
+    co_await self.step();
+    throw std::runtime_error("boom");
+  };
+  net.install(0, thrower(net.proc(0)));
+  net.install(1, idle_program(net.proc(1), 3));
+  EXPECT_THROW(net.run(), std::runtime_error);
+}
+
+TEST(NetworkTest, ExceptionInTaskPropagatesToMain) {
+  Network net({.p = 1, .k = 1});
+  auto failing_task = [](Proc& self) -> Task<void> {
+    co_await self.step();
+    throw std::runtime_error("task boom");
+  };
+  bool caught = false;
+  auto prog = [&failing_task](Proc& self, bool& flag) -> ProcMain {
+    try {
+      co_await failing_task(self);
+    } catch (const std::runtime_error&) {
+      flag = true;
+    }
+  };
+  net.install(0, prog(net.proc(0), caught));
+  net.run();
+  EXPECT_TRUE(caught);
+}
+
+// --- configuration and protocol errors --------------------------------------
+
+TEST(NetworkTest, ConfigValidation) {
+  EXPECT_THROW(Network({.p = 0, .k = 0}), std::invalid_argument);
+  EXPECT_THROW(Network({.p = 2, .k = 3}), std::invalid_argument);  // k > p
+  EXPECT_NO_THROW(Network({.p = 3, .k = 3}));
+}
+
+TEST(NetworkTest, ChannelIndexOutOfRangeThrows) {
+  Network net({.p = 2, .k = 2});
+  auto prog = [](Proc& self) -> ProcMain {
+    co_await self.write(5, Message::of(1));  // only channels 0..1 exist
+  };
+  net.install(0, prog(net.proc(0)));
+  net.install(1, prog(net.proc(1)));
+  EXPECT_THROW(net.run(), std::invalid_argument);
+}
+
+TEST(NetworkTest, RunIsSingleShot) {
+  Network net({.p = 1, .k = 1});
+  net.install(0, idle_program(net.proc(0), 1));
+  net.run();
+  EXPECT_THROW(net.run(), std::invalid_argument);
+}
+
+TEST(NetworkTest, MissingProgramRejected) {
+  Network net({.p = 2, .k = 1});
+  net.install(0, idle_program(net.proc(0), 1));
+  EXPECT_THROW(net.run(), std::invalid_argument);
+}
+
+TEST(NetworkTest, DoubleInstallRejected) {
+  Network net({.p = 1, .k = 1});
+  net.install(0, idle_program(net.proc(0), 1));
+  EXPECT_THROW(net.install(0, idle_program(net.proc(0), 1)),
+               std::invalid_argument);
+}
+
+TEST(NetworkTest, MaxCyclesGuard) {
+  Network net({.p = 1, .k = 1, .max_cycles = 10});
+  net.install(0, idle_program(net.proc(0), 100));
+  EXPECT_THROW(net.run(), ProtocolError);
+}
+
+TEST(NetworkTest, PhaseAccounting) {
+  Network net({.p = 2, .k = 1});
+  auto prog = [](Proc& self) -> ProcMain {
+    self.mark_phase("alpha");
+    co_await self.write(0, Message::of(1));
+    co_await self.write(0, Message::of(2));
+    self.mark_phase("beta");
+    co_await self.step();
+    co_await self.write(0, Message::of(3));
+  };
+  net.install(0, prog(net.proc(0)));
+  net.install(1, idle_program(net.proc(1), 4));
+  auto stats = net.run();
+  const auto* alpha = stats.phase("alpha");
+  const auto* beta = stats.phase("beta");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(alpha->cycles, 2u);
+  EXPECT_EQ(alpha->messages, 2u);
+  EXPECT_EQ(beta->messages, 1u);
+}
+
+TEST(NetworkTest, AuxStorageTracking) {
+  Network net({.p = 2, .k = 1});
+  auto prog = [](Proc& self, std::size_t hi) -> ProcMain {
+    self.note_aux(3);
+    co_await self.step();
+    self.note_aux(hi);
+    co_await self.step();
+    self.note_aux(1);
+  };
+  net.install(0, prog(net.proc(0), 17));
+  net.install(1, prog(net.proc(1), 4));
+  auto stats = net.run();
+  EXPECT_EQ(stats.peak_aux_words[0], 17u);
+  EXPECT_EQ(stats.peak_aux_words[1], 4u);
+  EXPECT_EQ(stats.max_peak_aux(), 17u);
+}
+
+TEST(NetworkTest, DeterministicReplay) {
+  // Two identical runs produce identical statistics.
+  auto run_once = []() {
+    Network net({.p = 4, .k = 2});
+    auto prog = [](Proc& self) -> ProcMain {
+      const ChannelId ch = self.id() % 2;
+      if (self.id() < 2) {
+        for (int i = 0; i < 10; ++i) {
+          co_await self.write(
+              ch, Message::of(static_cast<Word>(self.id()) * 100 + i));
+        }
+      } else {
+        for (int i = 0; i < 10; ++i) {
+          co_await self.read(ch);
+        }
+      }
+    };
+    for (ProcId i = 0; i < 4; ++i) net.install(i, prog(net.proc(i)));
+    return net.run();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.messages_per_proc, b.messages_per_proc);
+}
+
+}  // namespace
+}  // namespace mcb

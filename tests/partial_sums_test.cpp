@@ -1,0 +1,149 @@
+// Tests of the Partial-Sums collective (Section 7.1): correctness against a
+// prefix-scan oracle across operators and network shapes, plus the paper's
+// O(p/k + log k) cycle and O(p) message bounds.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "algo/partial_sums.hpp"
+#include "algo/runner.hpp"
+#include "util/random.hpp"
+
+namespace mcb::algo {
+namespace {
+
+struct PsOutcome {
+  std::vector<PartialSumsResult> results;
+  RunStats stats;
+};
+
+PsOutcome run_partial_sums(std::size_t p, std::size_t k,
+                           const std::vector<Word>& values, const SumOp& op,
+                           PartialSumsOptions opts = {}) {
+  PsOutcome out;
+  out.results.resize(p);
+  Network net({.p = p, .k = k});
+  auto prog = [](Proc& self, Word a, const SumOp& o, PartialSumsOptions po,
+                 PartialSumsResult& res) -> ProcMain {
+    res = co_await partial_sums(self, a, o, po);
+  };
+  for (ProcId i = 0; i < p; ++i) {
+    net.install(i, prog(net.proc(i), values[i], op, opts, out.results[i]));
+  }
+  out.stats = net.run();
+  return out;
+}
+
+class PartialSumsShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PartialSumsShapes, AddMatchesPrefixScan) {
+  auto [p, k] = GetParam();
+  util::Xoshiro256StarStar rng(p * 31 + k);
+  std::vector<Word> values(p);
+  for (auto& v : values) v = rng.uniform(-100, 100);
+
+  auto out = run_partial_sums(p, k, values, SumOp::add(),
+                              {.with_total = true, .with_next = true});
+
+  Word prefix = 0;
+  Word total = std::accumulate(values.begin(), values.end(), Word{0});
+  for (std::size_t i = 0; i < p; ++i) {
+    EXPECT_EQ(out.results[i].before, prefix) << "P" << i + 1;
+    prefix += values[i];
+    EXPECT_EQ(out.results[i].self, prefix) << "P" << i + 1;
+    const Word next =
+        i + 1 < p ? prefix + values[i + 1] : prefix;
+    EXPECT_EQ(out.results[i].next, next) << "P" << i + 1;
+    EXPECT_EQ(out.results[i].total, total) << "P" << i + 1;
+  }
+}
+
+TEST_P(PartialSumsShapes, CycleAndMessageBounds) {
+  auto [p, k] = GetParam();
+  std::vector<Word> values(p, 1);
+  auto out = run_partial_sums(p, k, values, SumOp::add(),
+                              {.with_total = true, .with_next = true});
+  // Paper: O(p/k + log k) cycles, O(p) messages. Constants here cover the
+  // bottom-up + top-down phases plus both optional steps.
+  std::size_t logk = 1;
+  while ((std::size_t{1} << logk) < k) ++logk;
+  const auto cycle_bound = 6 * (p / k + 1) + 4 * logk + 2;
+  EXPECT_LE(out.stats.cycles, cycle_bound) << "p=" << p << " k=" << k;
+  EXPECT_LE(out.stats.messages, 4 * p) << "p=" << p << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartialSumsShapes,
+    ::testing::ValuesIn(std::vector<std::pair<std::size_t, std::size_t>>{
+        {1, 1}, {2, 1}, {2, 2}, {3, 2}, {4, 4}, {5, 2}, {7, 3}, {8, 2},
+        {8, 8}, {13, 4}, {16, 4}, {31, 8}, {32, 8}, {33, 8}, {64, 1},
+        {64, 16}, {100, 10}, {128, 32}}),
+    [](const auto& pinfo) {
+      return "p" + std::to_string(pinfo.param.first) + "_k" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(PartialSumsTest, MaxOperator) {
+  const std::size_t p = 13, k = 4;
+  util::Xoshiro256StarStar rng(5);
+  std::vector<Word> values(p);
+  for (auto& v : values) v = rng.uniform(-1000, 1000);
+  auto out = run_partial_sums(p, k, values, SumOp::max(),
+                              {.with_total = true});
+  Word running = std::numeric_limits<Word>::min();
+  for (std::size_t i = 0; i < p; ++i) {
+    running = std::max(running, values[i]);
+    EXPECT_EQ(out.results[i].self, running);
+    EXPECT_EQ(out.results[i].total,
+              *std::max_element(values.begin(), values.end()));
+  }
+}
+
+TEST(PartialSumsTest, MinOperator) {
+  const std::size_t p = 9, k = 3;
+  std::vector<Word> values{5, -2, 8, 0, 3, -7, 4, 1, 2};
+  auto out = run_partial_sums(p, k, values, SumOp::min());
+  Word running = std::numeric_limits<Word>::max();
+  for (std::size_t i = 0; i < p; ++i) {
+    running = std::min(running, values[i]);
+    EXPECT_EQ(out.results[i].self, running);
+  }
+}
+
+TEST(PartialSumsTest, SingleProcessorShortCircuits) {
+  auto out = run_partial_sums(1, 1, {42}, SumOp::add(),
+                              {.with_total = true, .with_next = true});
+  EXPECT_EQ(out.stats.cycles, 0u);
+  EXPECT_EQ(out.stats.messages, 0u);
+  EXPECT_EQ(out.results[0].before, 0);
+  EXPECT_EQ(out.results[0].self, 42);
+  EXPECT_EQ(out.results[0].next, 42);
+  EXPECT_EQ(out.results[0].total, 42);
+}
+
+TEST(PartialSumsTest, ComposesSequentially) {
+  // Two collectives back to back on the same network must not interfere:
+  // the second runs over the outputs of the first.
+  const std::size_t p = 8, k = 2;
+  std::vector<Word> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<Word> finals(p);
+  Network net({.p = p, .k = k});
+  auto prog = [](Proc& self, Word a, Word& final_out) -> ProcMain {
+    auto first = co_await partial_sums(self, a, SumOp::add());
+    auto second = co_await partial_sums(self, first.self, SumOp::max());
+    final_out = second.self;
+  };
+  for (ProcId i = 0; i < p; ++i) {
+    net.install(i, prog(net.proc(i), values[i], finals[i]));
+  }
+  net.run();
+  // First pass prefixes: 1,3,6,10,15,21,28,36 — monotone, so the running
+  // max equals the prefix itself.
+  std::vector<Word> expect{1, 3, 6, 10, 15, 21, 28, 36};
+  EXPECT_EQ(finals, expect);
+}
+
+}  // namespace
+}  // namespace mcb::algo

@@ -1,0 +1,159 @@
+// Randomized property tests: many random (p, k, n, shape, seed,
+// algorithm) configurations, each checked for full invariant sets —
+// correctness against the oracle, count preservation, message/cycle sanity,
+// per-channel accounting consistency, and idempotent determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "mcb/mcb.hpp"
+#include "util/random.hpp"
+
+namespace mcb {
+namespace {
+
+using algo::SortAlgorithm;
+
+struct RandomConfig {
+  std::size_t p, k, n;
+  util::Shape shape;
+  std::uint64_t seed;
+  SortAlgorithm algorithm;
+};
+
+RandomConfig draw_config(util::Xoshiro256StarStar& rng, bool even_only) {
+  static constexpr std::size_t kPs[] = {2, 3, 4, 6, 8, 12, 16, 24, 32};
+  static constexpr util::Shape kShapes[] = {
+      util::Shape::kEven, util::Shape::kZipf, util::Shape::kOneHot,
+      util::Shape::kRandom, util::Shape::kStaircase};
+  RandomConfig cfg;
+  cfg.p = kPs[static_cast<std::size_t>(rng.uniform(0, 8))];
+  cfg.k = 1 + static_cast<std::size_t>(
+                  rng.uniform(0, static_cast<std::int64_t>(cfg.p) - 1));
+  cfg.shape = even_only
+                  ? util::Shape::kEven
+                  : kShapes[static_cast<std::size_t>(rng.uniform(0, 4))];
+  const auto per = static_cast<std::size_t>(rng.uniform(1, 40));
+  cfg.n = cfg.p * per;  // p | n so every shape is constructible
+  cfg.seed = static_cast<std::uint64_t>(rng.uniform(0, 1 << 20));
+  return cfg;
+}
+
+void check_sort_invariants(const RandomConfig& cfg,
+                           const std::vector<std::vector<Word>>& inputs,
+                           const algo::SortOutcome& out) {
+  // 1. Correctness + per-processor count preservation.
+  std::vector<Word> expect;
+  for (const auto& in : inputs) expect.insert(expect.end(), in.begin(),
+                                              in.end());
+  std::sort(expect.begin(), expect.end(), std::greater<Word>{});
+  std::size_t at = 0;
+  ASSERT_EQ(out.run.outputs.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_EQ(out.run.outputs[i].size(), inputs[i].size())
+        << "P" << i + 1 << " count changed";
+    for (Word w : out.run.outputs[i]) {
+      ASSERT_EQ(w, expect[at++]);
+    }
+  }
+  // 2. Accounting consistency: per-proc and per-channel sums match the
+  // total; no channel beyond k was used.
+  const auto& st = out.run.stats;
+  EXPECT_EQ(std::accumulate(st.messages_per_proc.begin(),
+                            st.messages_per_proc.end(), std::uint64_t{0}),
+            st.messages);
+  EXPECT_EQ(std::accumulate(st.messages_per_channel.begin(),
+                            st.messages_per_channel.end(), std::uint64_t{0}),
+            st.messages);
+  EXPECT_EQ(st.messages_per_channel.size(), cfg.k);
+  // 3. Coarse complexity sanity: no algorithm needs more than ~6n messages
+  // per transform phase or 40n cycles (these catch runaway schedules, not
+  // tight bounds — those live in the per-algorithm tests).
+  EXPECT_LE(st.messages, 40 * cfg.n + 20 * cfg.p);
+  EXPECT_LE(st.cycles, 40 * cfg.n + 20 * cfg.p);
+}
+
+TEST(PropertyTest, RandomConfigsAllSortersEvenInputs) {
+  util::Xoshiro256StarStar rng(0xfeed);
+  static constexpr SortAlgorithm kAll[] = {
+      SortAlgorithm::kColumnsortEven, SortAlgorithm::kVirtualColumnsort,
+      SortAlgorithm::kRecursive,      SortAlgorithm::kUnevenColumnsort,
+      SortAlgorithm::kRankSort,       SortAlgorithm::kMergeSort,
+      SortAlgorithm::kCentral};
+  for (int trial = 0; trial < 60; ++trial) {
+    auto cfg = draw_config(rng, /*even_only=*/true);
+    cfg.algorithm = kAll[static_cast<std::size_t>(rng.uniform(0, 6))];
+    auto w = util::make_workload(cfg.n, cfg.p, cfg.shape, cfg.seed);
+    auto out = algo::sort({.p = cfg.p, .k = cfg.k}, w.inputs,
+                          {.algorithm = cfg.algorithm});
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": p=" << cfg.p << " k=" << cfg.k
+                 << " n=" << cfg.n << " algo="
+                 << algo::to_string(cfg.algorithm));
+    check_sort_invariants(cfg, w.inputs, out);
+  }
+}
+
+TEST(PropertyTest, RandomConfigsUnevenSorters) {
+  util::Xoshiro256StarStar rng(0xbeef);
+  static constexpr SortAlgorithm kUneven[] = {
+      SortAlgorithm::kUnevenColumnsort, SortAlgorithm::kRankSort,
+      SortAlgorithm::kMergeSort, SortAlgorithm::kCentral};
+  for (int trial = 0; trial < 60; ++trial) {
+    auto cfg = draw_config(rng, /*even_only=*/false);
+    cfg.algorithm = kUneven[static_cast<std::size_t>(rng.uniform(0, 3))];
+    auto w = util::make_workload(cfg.n, cfg.p, cfg.shape, cfg.seed);
+    auto out = algo::sort({.p = cfg.p, .k = cfg.k}, w.inputs,
+                          {.algorithm = cfg.algorithm});
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": p=" << cfg.p << " k=" << cfg.k
+                 << " n=" << cfg.n << " shape=" << util::to_string(cfg.shape)
+                 << " algo=" << algo::to_string(cfg.algorithm));
+    check_sort_invariants(cfg, w.inputs, out);
+  }
+}
+
+TEST(PropertyTest, RandomSelections) {
+  util::Xoshiro256StarStar rng(0xcafe);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto cfg = draw_config(rng, /*even_only=*/false);
+    auto w = util::make_workload(cfg.n, cfg.p, cfg.shape, cfg.seed);
+    const auto d = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(cfg.n)));
+    auto res = algo::select_rank({.p = cfg.p, .k = cfg.k}, w.inputs, d);
+
+    std::vector<Word> all;
+    for (const auto& in : w.inputs) all.insert(all.end(), in.begin(),
+                                               in.end());
+    std::sort(all.begin(), all.end(), std::greater<Word>{});
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": p=" << cfg.p << " k=" << cfg.k
+                 << " n=" << cfg.n << " d=" << d);
+    ASSERT_EQ(res.value, all[d - 1]);
+    // Candidate trace is strictly decreasing and respects the purge bound.
+    for (std::size_t ph = 1; ph < res.candidates_per_phase.size(); ++ph) {
+      ASSERT_LT(res.candidates_per_phase[ph],
+                res.candidates_per_phase[ph - 1]);
+      ASSERT_LE(4 * res.candidates_per_phase[ph],
+                3 * res.candidates_per_phase[ph - 1] + 4);
+    }
+  }
+}
+
+TEST(PropertyTest, ShoutEchoAgreesWithMcbSelection) {
+  util::Xoshiro256StarStar rng(0xd00d);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto cfg = draw_config(rng, /*even_only=*/false);
+    auto w = util::make_workload(cfg.n, cfg.p, cfg.shape, cfg.seed);
+    const auto d = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(cfg.n)));
+    auto mcb_res = algo::select_rank({.p = cfg.p, .k = cfg.k}, w.inputs, d);
+    auto se_res = se::se_select_rank(w.inputs, d);
+    ASSERT_EQ(mcb_res.value, se_res.value)
+        << "trial " << trial << " d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace mcb

@@ -1,0 +1,139 @@
+// Tests of the recursive Columnsort (Section 6.2): correctness in the
+// small-n regime n < k^2(k-1) where the flat algorithm cannot use all
+// channels, the O(s*n/k) cycle behaviour, and the max_split ablation knob.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "algo/columnsort_even.hpp"
+#include "algo/recursive_columnsort.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::algo {
+namespace {
+
+void expect_sorted_outputs(const std::vector<std::vector<Word>>& inputs,
+                           const std::vector<std::vector<Word>>& outputs) {
+  std::vector<Word> all;
+  for (const auto& x : inputs) all.insert(all.end(), x.begin(), x.end());
+  std::sort(all.begin(), all.end(), std::greater<Word>{});
+  std::size_t at = 0;
+  ASSERT_EQ(inputs.size(), outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    ASSERT_EQ(outputs[i].size(), inputs[i].size()) << "P" << i + 1;
+    for (Word w : outputs[i]) {
+      ASSERT_EQ(w, all[at]) << "P" << i + 1 << " rank " << at;
+      ++at;
+    }
+  }
+}
+
+struct Shape {
+  std::size_t p, k, ni;
+};
+
+class RecursiveSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(RecursiveSweep, Sorts) {
+  const auto [p, k, ni] = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto w = util::make_workload(p * ni, p, util::Shape::kEven, seed);
+    auto res = recursive_columnsort({.p = p, .k = k}, w.inputs);
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RecursiveSweep,
+    ::testing::ValuesIn(std::vector<Shape>{
+        // The regime this algorithm exists for: n < k^2(k-1).
+        {16, 16, 4},    // n = 64 << 16^2*15
+        {32, 16, 2},    // n = 64
+        {64, 16, 4},    // n = 256
+        {64, 32, 8},    // n = 512 << 32^2*31
+        {16, 8, 8},     // n = 128 < 448
+        // Comfortable dimensions (split factor = k, like Section 6.1).
+        {16, 4, 64},
+        {8, 2, 32},
+        // Degenerate cases.
+        {4, 1, 8},      // single channel: Rank-Sort
+        {1, 1, 16},     // single processor: local
+        {8, 8, 1},      // one element per processor
+    }),
+    [](const auto& pinfo) {
+      return "p" + std::to_string(pinfo.param.p) + "_k" +
+             std::to_string(pinfo.param.k) + "_ni" +
+             std::to_string(pinfo.param.ni);
+    });
+
+TEST(RecursiveColumnsortTest, UsesAllChannelsWhereFlatCannot) {
+  // n = 256, k = 16: flat Columnsort can use at most 4 columns
+  // (m = n/kk >= kk(kk-1) caps kk). The recursive algorithm engages and
+  // spreads transformation traffic over all 16 channels. (The cycle-count
+  // crossover against the flat algorithm needs larger configurations and is
+  // measured in bench_sort_recursive.)
+  const std::size_t p = 64, k = 16, ni = 4;
+  auto w = util::make_workload(p * ni, p, util::Shape::kEven, 5);
+
+  auto flat = columnsort_even({.p = p, .k = k}, w.inputs);
+  auto rec = recursive_columnsort({.p = p, .k = k}, w.inputs);
+  expect_sorted_outputs(w.inputs, rec.run.outputs);
+
+  EXPECT_LT(flat.columns, k);  // the flat algorithm is channel-starved
+  EXPECT_GT(rec.depth, 1u);    // recursion engaged
+  // All 16 channels carry traffic in the recursive run.
+  for (std::size_t c = 0; c < k; ++c) {
+    EXPECT_GT(rec.run.stats.messages_per_channel[c], 0u) << "channel " << c;
+  }
+}
+
+TEST(RecursiveColumnsortTest, MaxSplitAblation) {
+  const std::size_t p = 64, k = 16, ni = 16;
+  auto w = util::make_workload(p * ni, p, util::Shape::kEven, 6);
+  std::vector<std::vector<Word>> reference;
+  for (std::size_t cap : {2u, 4u, 16u}) {
+    auto res = recursive_columnsort({.p = p, .k = k}, w.inputs,
+                                    {.max_split = cap});
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+    EXPECT_LE(res.top_columns, cap);
+    if (reference.empty()) {
+      reference = res.run.outputs;
+    } else {
+      EXPECT_EQ(res.run.outputs, reference);
+    }
+  }
+}
+
+TEST(RecursiveColumnsortTest, CyclesScaleWithNOverKAtFixedDepth) {
+  // A depth-s plan has 4^s sequential sorting slots and per-slot cost
+  // O(n/k) (the per-channel load n_c/kc is invariant down the tree), so
+  // cycles / (4^depth * n/k) must stay bounded as n grows at fixed (p, k).
+  const std::size_t p = 64, k = 16;
+  for (std::size_t ni : {4u, 8u, 16u, 32u}) {
+    auto w = util::make_workload(p * ni, p, util::Shape::kEven, ni);
+    auto res = recursive_columnsort({.p = p, .k = k}, w.inputs);
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+    const double slots = std::pow(4.0, double(res.depth));
+    const double normalized =
+        double(res.run.stats.cycles) / (slots * double(p * ni) / double(k));
+    EXPECT_LE(normalized, 8.0) << "ni=" << ni << " depth=" << res.depth;
+  }
+}
+
+TEST(RecursiveColumnsortTest, DuplicatesHandled) {
+  std::vector<std::vector<Word>> inputs{
+      {7, 7, 7, 7}, {1, 1, 1, 1}, {7, 1, 7, 1}, {4, 4, 4, 4}};
+  auto res = recursive_columnsort({.p = 4, .k = 2}, inputs);
+  expect_sorted_outputs(inputs, res.run.outputs);
+}
+
+TEST(RecursiveColumnsortTest, UnevenInputRejected) {
+  std::vector<std::vector<Word>> inputs{{1, 2}, {3}};
+  EXPECT_THROW(recursive_columnsort({.p = 2, .k = 2}, inputs),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcb::algo

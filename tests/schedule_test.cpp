@@ -1,0 +1,219 @@
+// Tests of the broadcast scheduling substrate: Birkhoff decomposition,
+// regular padding, and transformation transfer plans (collision-freedom and
+// the König round bound R <= m).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "sched/edge_coloring.hpp"
+#include "sched/schedule.hpp"
+#include "util/random.hpp"
+
+namespace mcb::sched {
+namespace {
+
+CountMatrix random_regular(std::size_t k, std::uint64_t r,
+                           std::uint64_t seed) {
+  // Sum of r random permutation matrices is r-regular.
+  util::Xoshiro256StarStar rng(seed);
+  CountMatrix m(k, std::vector<std::uint64_t>(k, 0));
+  std::vector<std::size_t> perm(k);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  for (std::uint64_t t = 0; t < r; ++t) {
+    rng.shuffle(perm);
+    for (std::size_t i = 0; i < k; ++i) ++m[i][perm[i]];
+  }
+  return m;
+}
+
+void expect_decomposes(const CountMatrix& m) {
+  const auto k = m.size();
+  auto terms = birkhoff_decompose(m);
+  CountMatrix sum(k, std::vector<std::uint64_t>(k, 0));
+  std::uint64_t total = 0;
+  for (const auto& t : terms) {
+    ASSERT_EQ(t.perm.size(), k);
+    // each term is a permutation
+    std::vector<bool> seen(k, false);
+    for (auto v : t.perm) {
+      ASSERT_LT(v, k);
+      ASSERT_FALSE(seen[v]);
+      seen[v] = true;
+    }
+    for (std::size_t i = 0; i < k; ++i) sum[i][t.perm[i]] += t.count;
+    total += t.count;
+  }
+  EXPECT_EQ(sum, m);
+  EXPECT_EQ(total, max_degree(m));
+}
+
+TEST(EdgeColoringTest, DecomposesRandomRegularMatrices) {
+  for (std::size_t k : {2u, 3u, 5u, 8u}) {
+    for (std::uint64_t r : {1u, 2u, 7u, 100u}) {
+      expect_decomposes(random_regular(k, r, k * 1000 + r));
+    }
+  }
+}
+
+TEST(EdgeColoringTest, SingleVertex) {
+  expect_decomposes(CountMatrix{{5}});
+}
+
+TEST(EdgeColoringTest, RejectsIrregular) {
+  CountMatrix bad{{1, 0}, {1, 0}};  // column sums 2 and 0
+  EXPECT_THROW(birkhoff_decompose(bad), std::invalid_argument);
+}
+
+TEST(EdgeColoringTest, RejectsNonSquare) {
+  CountMatrix bad{{1, 0, 0}, {0, 1, 0}};
+  EXPECT_THROW(birkhoff_decompose(bad), std::invalid_argument);
+}
+
+TEST(EdgeColoringTest, PadToRegularBalances) {
+  util::Xoshiro256StarStar rng(11);
+  for (std::size_t k : {2u, 4u, 7u}) {
+    CountMatrix m(k, std::vector<std::uint64_t>(k, 0));
+    for (auto& row : m) {
+      for (auto& v : row) {
+        v = static_cast<std::uint64_t>(rng.uniform(0, 9));
+      }
+    }
+    const auto r = max_degree(m);
+    auto dummy = pad_to_regular(m);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::uint64_t rs = 0, cs = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        rs += m[i][j] + dummy[i][j];
+        cs += m[j][i] + dummy[j][i];
+      }
+      EXPECT_EQ(rs, r) << "row " << i;
+      EXPECT_EQ(cs, r) << "col " << i;
+    }
+  }
+}
+
+// --- Euler-split edge coloring ----------------------------------------------
+
+void expect_valid_coloring(std::size_t l, std::size_t r,
+                           const std::vector<BipEdge>& edges) {
+  auto ec = euler_color(l, r, edges);
+  ASSERT_EQ(ec.colors.size(), edges.size());
+  // No two same-colored edges share an endpoint.
+  std::vector<std::vector<bool>> seen_l(ec.num_colors,
+                                        std::vector<bool>(l, false));
+  std::vector<std::vector<bool>> seen_r(ec.num_colors,
+                                        std::vector<bool>(r, false));
+  std::size_t delta = 0;
+  std::vector<std::size_t> dl(l, 0), dr(r, 0);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto c = ec.colors[e];
+    ASSERT_LT(c, ec.num_colors);
+    ASSERT_FALSE(seen_l[c][edges[e].left]) << "left clash, color " << c;
+    ASSERT_FALSE(seen_r[c][edges[e].right]) << "right clash, color " << c;
+    seen_l[c][edges[e].left] = true;
+    seen_r[c][edges[e].right] = true;
+    delta = std::max({delta, ++dl[edges[e].left], ++dr[edges[e].right]});
+  }
+  // Color budget: 2^ceil(log2(delta)) < 2*delta.
+  if (delta > 0) {
+    EXPECT_LT(ec.num_colors, 2 * delta);
+  }
+}
+
+TEST(EulerColorTest, RandomMultigraphs) {
+  util::Xoshiro256StarStar rng(23);
+  for (auto [l, r, e] : std::vector<std::array<std::size_t, 3>>{
+           {1, 1, 5}, {2, 3, 10}, {4, 16, 64}, {8, 64, 500}, {16, 128, 2000},
+           {3, 7, 1}}) {
+    std::vector<BipEdge> edges(e);
+    for (auto& ed : edges) {
+      ed.left = static_cast<std::uint32_t>(
+          rng.uniform(0, static_cast<std::int64_t>(l) - 1));
+      ed.right = static_cast<std::uint32_t>(
+          rng.uniform(0, static_cast<std::int64_t>(r) - 1));
+    }
+    expect_valid_coloring(l, r, edges);
+  }
+}
+
+TEST(EulerColorTest, EmptyAndParallelEdges) {
+  expect_valid_coloring(3, 3, {});
+  // 6 parallel edges between one pair: needs >= 6 colors.
+  std::vector<BipEdge> par(6, BipEdge{1, 2});
+  auto ec = euler_color(3, 3, par);
+  std::vector<bool> used(ec.num_colors, false);
+  for (auto c : ec.colors) {
+    ASSERT_FALSE(used[c]);
+    used[c] = true;
+  }
+}
+
+TEST(EulerColorTest, PerfectMatchingNeedsOneColor) {
+  std::vector<BipEdge> edges{{0, 2}, {1, 1}, {2, 0}};
+  auto ec = euler_color(3, 3, edges);
+  EXPECT_EQ(ec.num_colors, 1u);
+}
+
+TEST(EulerColorTest, OutOfRangeRejected) {
+  EXPECT_THROW(euler_color(2, 2, {BipEdge{2, 0}}), std::invalid_argument);
+}
+
+// --- transfer plans ----------------------------------------------------------
+
+class PlanTest : public ::testing::TestWithParam<
+                     std::tuple<Transform, std::size_t, std::size_t>> {};
+
+TEST_P(PlanTest, ValidAndWithinKoenigBound) {
+  auto [t, m, k] = GetParam();
+  auto table = permutation_table(t, m, k);
+  auto plan = plan_transform(t, m, k, &table);
+  EXPECT_TRUE(plan_is_valid(plan, table))
+      << to_string(t) << " m=" << m << " k=" << k;
+  EXPECT_LE(plan.cycles(), m) << "more rounds than the Koenig bound";
+  // Messages = cross-column moves <= m*k.
+  EXPECT_LE(plan.messages(), m * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, PlanTest,
+    ::testing::Combine(::testing::Values(Transform::kTranspose,
+                                         Transform::kUndiagonalize,
+                                         Transform::kUpShift,
+                                         Transform::kDownShift,
+                                         Transform::kUntranspose),
+                       ::testing::Values<std::size_t>(4, 8, 16, 24),
+                       ::testing::Values<std::size_t>(2, 4)),
+    [](const auto& pinfo) {
+      return std::string(1,
+                         "TUSDN"[static_cast<int>(std::get<0>(pinfo.param))]) +
+             "_m" + std::to_string(std::get<1>(pinfo.param)) + "_k" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(PlanTest, TransposeUsesExactlyMCyclesAtUniformLoad) {
+  // Transpose moves m - m/k elements out of each column, spread uniformly
+  // over destinations; the plan should need at most m rounds and at least
+  // m - m/k (each column sends at most one element per round).
+  const std::size_t m = 16, k = 4;
+  auto plan = plan_transform(Transform::kTranspose, m, k);
+  EXPECT_GE(plan.cycles(), m - m / k);
+  EXPECT_LE(plan.cycles(), m);
+  EXPECT_EQ(plan.messages(), (m - m / k) * k);
+}
+
+TEST(PlanTest, UpShiftUsesHalfColumnCycles) {
+  const std::size_t m = 12, k = 3;
+  auto plan = plan_transform(Transform::kUpShift, m, k);
+  EXPECT_EQ(plan.cycles(), m / 2);  // only the bottom half crosses columns
+  EXPECT_EQ(plan.messages(), (m / 2) * k);
+}
+
+TEST(PlanTest, SingleColumnPlanIsEmpty) {
+  auto plan = plan_transform(Transform::kUpShift, 8, 1);
+  EXPECT_EQ(plan.cycles(), 0u);
+  EXPECT_EQ(plan.messages(), 0u);
+}
+
+}  // namespace
+}  // namespace mcb::sched

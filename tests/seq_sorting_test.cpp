@@ -1,0 +1,121 @@
+// Tests of the sequential sorting substrate against std oracles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "seq/sorting.hpp"
+#include "util/random.hpp"
+
+namespace mcb::seq {
+namespace {
+
+std::vector<Word> random_vec(std::size_t n, std::uint64_t seed,
+                             std::int64_t lo = -1000, std::int64_t hi = 1000) {
+  util::Xoshiro256StarStar rng(seed);
+  std::vector<Word> v(n);
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+using SortFn = void (*)(std::span<Word>, std::greater<Word>);
+
+struct SortCase {
+  const char* name;
+  SortFn fn;
+};
+
+class SortAlgoTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(SortAlgoTest, MatchesOracleOnRandomInputs) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 7u, 24u, 25u, 100u, 1000u}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      auto v = random_vec(n, seed * 77 + n);
+      auto expect = v;
+      std::sort(expect.begin(), expect.end(), std::greater<Word>{});
+      GetParam().fn(std::span<Word>(v), std::greater<Word>{});
+      EXPECT_EQ(v, expect) << GetParam().name << " n=" << n
+                           << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(SortAlgoTest, HandlesAdversarialShapes) {
+  for (std::size_t n : {64u, 257u}) {
+    std::vector<std::vector<Word>> shapes;
+    std::vector<Word> asc(n), desc(n), equal(n, 5), organ(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      asc[i] = static_cast<Word>(i);
+      desc[i] = static_cast<Word>(n - i);
+      organ[i] = static_cast<Word>(std::min(i, n - i));
+    }
+    shapes = {asc, desc, equal, organ};
+    for (auto& v : shapes) {
+      auto expect = v;
+      std::sort(expect.begin(), expect.end(), std::greater<Word>{});
+      GetParam().fn(std::span<Word>(v), std::greater<Word>{});
+      EXPECT_EQ(v, expect) << GetParam().name << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SortAlgoTest,
+    ::testing::Values(
+        SortCase{"insertion", &insertion_sort<Word, std::greater<Word>>},
+        SortCase{"heap", &heap_sort<Word, std::greater<Word>>},
+        SortCase{"merge", &merge_sort<Word, std::greater<Word>>},
+        SortCase{"intro", &intro_sort<Word, std::greater<Word>>}),
+    [](const auto& pinfo) { return pinfo.param.name; });
+
+TEST(SortingTest, AscendingHelper) {
+  auto v = random_vec(500, 9);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  sort_ascending(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(SortingTest, DescendingHelper) {
+  auto v = random_vec(500, 10);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end(), std::greater<Word>{});
+  sort_descending(v);
+  EXPECT_EQ(v, expect);
+  EXPECT_TRUE(is_sorted_descending(v));
+}
+
+TEST(SortingTest, IsSortedDescendingDetectsViolation) {
+  std::vector<Word> v{5, 4, 4, 3};
+  EXPECT_TRUE(is_sorted_descending(v));
+  v.push_back(9);
+  EXPECT_FALSE(is_sorted_descending(v));
+  EXPECT_TRUE(is_sorted_descending(std::span<const Word>{}));
+}
+
+TEST(SortingTest, MergeSortIsStable) {
+  // Sort pairs by first component only; second component records input
+  // order and must be preserved among equal keys.
+  struct P {
+    int key;
+    int tag;
+    bool operator==(const P&) const = default;
+  };
+  util::Xoshiro256StarStar rng(3);
+  std::vector<P> v(300);
+  for (int i = 0; i < 300; ++i) {
+    v[static_cast<std::size_t>(i)] = {
+        static_cast<int>(rng.uniform(0, 9)), i};
+  }
+  auto expect = v;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const P& a, const P& b) { return a.key < b.key; });
+  merge_sort(std::span<P>(v), [](const P& a, const P& b) {
+    return a.key < b.key;
+  });
+  EXPECT_EQ(v, expect);
+}
+
+}  // namespace
+}  // namespace mcb::seq

@@ -1,0 +1,121 @@
+// Tests of the Shout-Echo model port (Section 9 / [Marb85]): activity
+// accounting, selection correctness across ranks and shapes, the
+// O(log n)-activities bound, and the comparison against the value-range
+// binary-search baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "se/shout_echo.hpp"
+#include "util/random.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::se {
+namespace {
+
+Word oracle_rank(const std::vector<std::vector<Word>>& inputs,
+                 std::size_t d) {
+  std::vector<Word> all;
+  for (const auto& in : inputs) all.insert(all.end(), in.begin(), in.end());
+  std::sort(all.begin(), all.end(), std::greater<Word>{});
+  return all[d - 1];
+}
+
+TEST(ShoutEchoNetTest, ActivityAccounting) {
+  ShoutEchoNet net(5);
+  auto echoes = net.shout(2, Message::of(Word{9}),
+                          [](std::size_t proc, const Message& m) {
+                            return Message::of(m.at(0) + Word(proc));
+                          });
+  EXPECT_EQ(net.stats().activities, 1u);
+  EXPECT_EQ(net.stats().messages, 5u);  // 1 shout + 4 echoes
+  EXPECT_TRUE(echoes[2].empty());       // the shouter has no echo slot
+  EXPECT_EQ(echoes[0].at(0), 9);
+  EXPECT_EQ(echoes[4].at(0), 13);
+}
+
+TEST(ShoutEchoNetTest, InvalidShouterRejected) {
+  ShoutEchoNet net(2);
+  EXPECT_THROW(net.shout(2, Message::of(Word{1}),
+                         [](std::size_t, const Message&) {
+                           return Message{};
+                         }),
+               std::invalid_argument);
+}
+
+TEST(SeSelectionTest, MatchesOracleAcrossRanks) {
+  auto w = util::make_workload(96, 6, util::Shape::kRandom, 4);
+  for (std::size_t d = 1; d <= 96; d += 5) {
+    auto res = se_select_rank(w.inputs, d);
+    EXPECT_EQ(res.value, oracle_rank(w.inputs, d)) << "d=" << d;
+  }
+}
+
+TEST(SeSelectionTest, SkewedDistributions) {
+  for (auto shape : {util::Shape::kZipf, util::Shape::kOneHot,
+                     util::Shape::kStaircase}) {
+    auto w = util::make_workload(300, 10, shape, 8);
+    for (std::size_t d : {std::size_t{1}, std::size_t{150},
+                          std::size_t{300}}) {
+      auto res = se_select_rank(w.inputs, d);
+      EXPECT_EQ(res.value, oracle_rank(w.inputs, d))
+          << util::to_string(shape) << " d=" << d;
+    }
+  }
+}
+
+TEST(SeSelectionTest, SingleProcessorAndTinyInputs) {
+  std::vector<std::vector<Word>> one{{7, 3, 9}};
+  EXPECT_EQ(se_select_rank(one, 1).value, 9);
+  EXPECT_EQ(se_select_rank(one, 3).value, 3);
+  std::vector<std::vector<Word>> pairs{{5}, {1}};
+  EXPECT_EQ(se_select_rank(pairs, 2).value, 1);
+}
+
+TEST(SeSelectionTest, ActivitiesAreLogarithmic) {
+  // O(1) activities per filtering phase, O(log n) phases.
+  for (std::size_t n : {256u, 4096u, 65536u}) {
+    auto w = util::make_workload(n, 16, util::Shape::kEven, 2);
+    auto res = se_select_rank(w.inputs, n / 2);
+    const double bound = 4.0 * std::log2(double(n)) + 24.0;
+    EXPECT_LE(double(res.stats.activities), bound) << "n=" << n;
+  }
+}
+
+TEST(SeSelectionTest, InvalidArgumentsRejected) {
+  std::vector<std::vector<Word>> inputs{{1}, {}};
+  EXPECT_THROW(se_select_rank(inputs, 1), std::invalid_argument);
+  std::vector<std::vector<Word>> ok{{1}, {2}};
+  EXPECT_THROW(se_select_rank(ok, 0), std::invalid_argument);
+  EXPECT_THROW(se_select_rank(ok, 3), std::invalid_argument);
+}
+
+TEST(SeBinarySearchTest, MatchesOracle) {
+  auto w = util::make_workload(200, 8, util::Shape::kRandom, 6);
+  for (std::size_t d : {std::size_t{1}, std::size_t{50}, std::size_t{100},
+                        std::size_t{200}}) {
+    auto res = se_select_binary_search(w.inputs, d);
+    EXPECT_EQ(res.value, oracle_rank(w.inputs, d)) << "d=" << d;
+  }
+}
+
+TEST(SeBinarySearchTest, FilteringBeatsItOnWideRanges) {
+  // Same n, but values spread over a wide universe: binary search pays
+  // log(range), filtering log(n).
+  const std::size_t p = 8, n = 256;
+  util::Xoshiro256StarStar rng(9);
+  std::vector<std::vector<Word>> inputs(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t e = 0; e < n / p; ++e) {
+      inputs[i].push_back(rng.uniform(-1'000'000'000, 1'000'000'000));
+    }
+  }
+  auto filt = se_select_rank(inputs, n / 2);
+  auto bin = se_select_binary_search(inputs, n / 2);
+  EXPECT_EQ(filt.value, bin.value);
+  EXPECT_LT(filt.stats.activities, bin.stats.activities);
+}
+
+}  // namespace
+}  // namespace mcb::se

@@ -1,0 +1,109 @@
+// Tests of the front-door sort API (dispatcher) and the baselines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/baselines.hpp"
+#include "algo/sort.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::algo {
+namespace {
+
+void expect_sorted_outputs(const std::vector<std::vector<Word>>& inputs,
+                           const std::vector<std::vector<Word>>& outputs) {
+  std::vector<Word> all;
+  for (const auto& x : inputs) all.insert(all.end(), x.begin(), x.end());
+  std::sort(all.begin(), all.end(), std::greater<Word>{});
+  std::size_t at = 0;
+  ASSERT_EQ(inputs.size(), outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    ASSERT_EQ(outputs[i].size(), inputs[i].size()) << "P" << i + 1;
+    for (Word w : outputs[i]) {
+      ASSERT_EQ(w, all[at]) << "P" << i + 1 << " rank " << at;
+      ++at;
+    }
+  }
+}
+
+TEST(SortApiTest, AutoPicksEvenColumnsort) {
+  auto w = util::make_workload(256, 16, util::Shape::kEven, 1);
+  auto res = sort({.p = 16, .k = 4}, w.inputs);
+  EXPECT_EQ(res.used, SortAlgorithm::kColumnsortEven);
+  expect_sorted_outputs(w.inputs, res.run.outputs);
+}
+
+TEST(SortApiTest, AutoPicksUnevenForSkew) {
+  auto w = util::make_workload(256, 16, util::Shape::kZipf, 1);
+  auto res = sort({.p = 16, .k = 4}, w.inputs);
+  EXPECT_EQ(res.used, SortAlgorithm::kUnevenColumnsort);
+  expect_sorted_outputs(w.inputs, res.run.outputs);
+}
+
+TEST(SortApiTest, AutoPicksRankSortForSingleChannel) {
+  auto w = util::make_workload(64, 8, util::Shape::kEven, 1);
+  auto res = sort({.p = 8, .k = 1}, w.inputs);
+  EXPECT_EQ(res.used, SortAlgorithm::kRankSort);
+  expect_sorted_outputs(w.inputs, res.run.outputs);
+}
+
+TEST(SortApiTest, EveryExplicitAlgorithmSortsEvenInput) {
+  auto w = util::make_workload(256, 16, util::Shape::kEven, 2);
+  for (auto a : {SortAlgorithm::kColumnsortEven,
+                 SortAlgorithm::kVirtualColumnsort, SortAlgorithm::kRecursive,
+                 SortAlgorithm::kUnevenColumnsort, SortAlgorithm::kRankSort,
+                 SortAlgorithm::kMergeSort, SortAlgorithm::kCentral}) {
+    auto res = sort({.p = 16, .k = 4}, w.inputs, {.algorithm = a});
+    EXPECT_EQ(res.used, a);
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+  }
+}
+
+TEST(SortApiTest, AlgorithmNames) {
+  EXPECT_STREQ(to_string(SortAlgorithm::kRecursive), "recursive-columnsort");
+  EXPECT_STREQ(to_string(SortAlgorithm::kCentral), "central-sort");
+}
+
+TEST(CentralSortTest, SortsUnevenInputs) {
+  for (auto shape : {util::Shape::kZipf, util::Shape::kOneHot,
+                     util::Shape::kRandom}) {
+    auto w = util::make_workload(200, 8, shape, 7);
+    auto res = central_sort({.p = 8, .k = 4}, w.inputs);
+    expect_sorted_outputs(w.inputs, res.outputs);
+  }
+}
+
+TEST(CentralSortTest, IgnoresExtraChannels) {
+  // The baseline uses one channel: same cycle count for k = 1 and k = 8
+  // (the point of comparison against Columnsort). The gather/scatter part
+  // is identical; only the Partial-Sums prologue gets faster with k.
+  auto w = util::make_workload(512, 8, util::Shape::kEven, 4);
+  auto k1 = central_sort({.p = 8, .k = 1}, w.inputs);
+  auto k8 = central_sort({.p = 8, .k = 8}, w.inputs);
+  const auto scatter1 = k1.stats.phase("scatter")->cycles;
+  const auto scatter8 = k8.stats.phase("scatter")->cycles;
+  EXPECT_EQ(scatter1, scatter8);
+}
+
+TEST(SelectionBySortingTest, AgreesWithFiltering) {
+  auto w = util::make_workload(300, 6, util::Shape::kRandom, 5);
+  for (std::size_t d : {std::size_t{1}, std::size_t{150},
+                        std::size_t{300}}) {
+    auto base = selection_by_sorting({.p = 6, .k = 3}, w.inputs, d);
+    auto fast = select_rank({.p = 6, .k = 3}, w.inputs, d);
+    EXPECT_EQ(base.value, fast.value) << "d=" << d;
+  }
+}
+
+TEST(SelectionBySortingTest, PaysMoreMessagesThanFiltering) {
+  const std::size_t p = 16, k = 4, n = 4096;
+  auto w = util::make_workload(n, p, util::Shape::kEven, 6);
+  auto base = selection_by_sorting({.p = p, .k = k}, w.inputs, n / 2);
+  auto fast = select_rank({.p = p, .k = k}, w.inputs, n / 2);
+  // Theta(n) vs Theta(p log(kn/p)): at this size the gap is large.
+  EXPECT_GT(base.stats.messages, 4 * fast.stats.messages);
+}
+
+}  // namespace
+}  // namespace mcb::algo

@@ -1,0 +1,244 @@
+// Tests of the theory module: bound formulas, the hard sorting instances of
+// Theorems 3/5, and the selection adversary game of Theorem 1 — including
+// the end-to-end claim that any exposure strategy pays at least the
+// Omega(...) number of messages, and that our real algorithms stay within
+// constant factors of the lower bounds on the hard instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algo/selection.hpp"
+#include "algo/sort.hpp"
+#include "theory/adversary.hpp"
+#include "theory/bounds.hpp"
+#include "util/random.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::theory {
+namespace {
+
+TEST(BoundsTest, SortingFormulas) {
+  // Even: n_max == n_max2, so the message bound is n/2.
+  std::vector<std::size_t> even(8, 16);
+  EXPECT_DOUBLE_EQ(sorting_messages_lower(even), 64.0);
+  EXPECT_DOUBLE_EQ(sorting_messages_term(128), 128.0);
+  EXPECT_DOUBLE_EQ(sorting_cycles_term(128, 4, 16), 32.0);
+  // Skewed: n_max dominates the cycle bound.
+  std::vector<std::size_t> skew{100, 1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(sorting_cycles_lower(skew, 4), 4.0);  // n - n_max
+  EXPECT_DOUBLE_EQ(sorting_cycles_term(104, 4, 100), 100.0);
+}
+
+TEST(BoundsTest, SelectionFormulas) {
+  std::vector<std::size_t> even(8, 16);
+  // 7 pairs-partners contribute log2(32) = 5 each, halved.
+  EXPECT_DOUBLE_EQ(selection_messages_lower(even), 0.5 * 7 * 5);
+  EXPECT_GT(selection_messages_term(8, 2, 128), 0.0);
+  EXPECT_DOUBLE_EQ(selection_cycles_lower(even, 2),
+                   selection_messages_lower(even) / 2.0);
+  // Theorem 2 at d = n/2 must be within a constant of Theorem 1.
+  const double t2 = selection_messages_lower_rank(even, 64);
+  EXPECT_GT(t2, 0.0);
+  EXPECT_LE(t2, 2.0 * selection_messages_lower(even) + 8.0);
+}
+
+TEST(HardInstanceTest, CircularDistributionSeparatesNeighbours) {
+  const std::vector<std::size_t> sizes{4, 4, 4, 4};
+  auto inputs = hard_sort_instance(sizes);
+  ASSERT_EQ(inputs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(inputs[i].size(), sizes[i]);
+  }
+  // Map each value to its processor; consecutive values (descending global
+  // order) must alternate processors in the covered prefix.
+  std::vector<std::size_t> owner(17, SIZE_MAX);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (Word w : inputs[i]) {
+      owner[static_cast<std::size_t>(w)] = i;
+    }
+  }
+  for (std::size_t v = 16; v > 1; --v) {
+    EXPECT_NE(owner[v], owner[v - 1]) << "values " << v << "," << v - 1;
+  }
+}
+
+TEST(HardInstanceTest, CircularDistributionUnevenSizes) {
+  const std::vector<std::size_t> sizes{6, 2, 1, 1};
+  auto inputs = hard_sort_instance(sizes);
+  std::set<Word> all;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(inputs[i].size(), sizes[i]);
+    all.insert(inputs[i].begin(), inputs[i].end());
+  }
+  EXPECT_EQ(all.size(), 10u);  // all values distinct
+}
+
+TEST(HardInstanceTest, PmaxHoldsEveryOtherRank) {
+  auto inputs = hard_sort_instance_pmax(8, 4);
+  ASSERT_EQ(inputs[0].size(), 8u);
+  // P_1's values are exactly the odd values (even ranks of the descending
+  // order: N[2], N[4], ... = 15, 13, ...).
+  for (Word w : inputs[0]) {
+    EXPECT_EQ(w % 2, 1) << w;
+  }
+}
+
+TEST(HardInstanceTest, SortingHardInstanceForcesMessages) {
+  // Run the real sorting algorithm on the Theorem 3 instance: measured
+  // messages must be >= the lower bound (sanity of both sides).
+  const std::vector<std::size_t> sizes(8, 32);
+  auto inputs = hard_sort_instance(sizes);
+  auto res = algo::sort({.p = 8, .k = 4}, inputs);
+  EXPECT_GE(double(res.run.stats.messages), sorting_messages_lower(sizes));
+  // And within a constant factor of optimal (Theta-tightness).
+  EXPECT_LE(double(res.run.stats.messages),
+            16.0 * sorting_messages_lower(sizes));
+}
+
+TEST(AdversaryTest, InitialPairingEqualizesCandidates) {
+  SelectionAdversary adv({10, 4, 8, 6});
+  // Pairs by size: (10, 8) -> 8 each; (6, 4) -> 4 each.
+  EXPECT_EQ(adv.candidates(0), 8u);
+  EXPECT_EQ(adv.candidates(2), 8u);
+  EXPECT_EQ(adv.candidates(3), 4u);
+  EXPECT_EQ(adv.candidates(1), 4u);
+  EXPECT_EQ(adv.total_candidates(), 24u);
+}
+
+TEST(AdversaryTest, OddProcessorOutKeepsNoCandidates) {
+  SelectionAdversary adv({8, 8, 8});
+  EXPECT_EQ(adv.total_candidates(), 16u);
+  EXPECT_EQ(adv.candidates(2), 0u);
+}
+
+TEST(AdversaryTest, ExposureEliminatesAtMostHalfPlusOnePerPair) {
+  SelectionAdversary adv({16, 16});
+  const std::size_t pair_before = adv.total_candidates();  // 2m = 32
+  const std::size_t gone = adv.expose(0, 8);  // expose P_1's median
+  EXPECT_LE(gone, pair_before / 2 + 1);       // <= m + 1
+  // The pair stays balanced.
+  EXPECT_EQ(adv.candidates(0), adv.candidates(1));
+}
+
+TEST(AdversaryTest, FloorsAtTheFinalPair) {
+  // The game bottoms out with the last balanced pair of candidates — the
+  // surviving median is one of them, and the adversary refuses to
+  // eliminate further.
+  SelectionAdversary adv({2, 2});
+  for (int round = 0; round < 100 && adv.total_candidates() > 2; ++round) {
+    for (std::size_t proc = 0; proc < 2; ++proc) {
+      if (adv.candidates(proc) > 0) {
+        adv.expose(proc, (adv.candidates(proc) + 1) / 2);
+      }
+    }
+  }
+  EXPECT_EQ(adv.total_candidates(), 2u);
+  EXPECT_EQ(adv.expose(0, 1), 0u);  // refused
+  EXPECT_EQ(adv.total_candidates(), 2u);
+}
+
+TEST(AdversaryTest, AnyStrategyPaysTheLowerBound) {
+  // Random exposure strategies against the game: messages until only the
+  // final pair remains always reach the Theorem 1 formula (up to the
+  // per-pair discretization slack the Omega notation absorbs).
+  util::Xoshiro256StarStar rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::size_t> sizes(8);
+    for (auto& s : sizes) {
+      s = static_cast<std::size_t>(rng.uniform(2, 64));
+    }
+    SelectionAdversary adv(sizes);
+    const double bound = selection_messages_lower(sizes);
+    std::size_t guard = 0;
+    while (adv.total_candidates() > 2) {
+      // Pick a random processor with candidates and a random position.
+      std::size_t proc;
+      do {
+        proc = static_cast<std::size_t>(rng.uniform(0, 7));
+      } while (adv.candidates(proc) == 0);
+      adv.expose(proc, static_cast<std::size_t>(rng.uniform(
+                           1, static_cast<std::int64_t>(
+                                  adv.candidates(proc)))));
+      ASSERT_LT(++guard, 100000u) << "game did not converge";
+    }
+    EXPECT_GE(double(adv.messages()), bound - double(sizes.size()))
+        << "trial " << trial;
+  }
+}
+
+TEST(AdversaryTest, RankVariantCapsCandidates) {
+  // Theorem 2 game: total candidates start <= 2d and every paired
+  // processor keeps at least ceil(d/p).
+  std::vector<std::size_t> sizes(8, 64);  // n = 512
+  const std::size_t d = 32;
+  SelectionAdversary adv(sizes, d);
+  EXPECT_LE(adv.total_candidates(), 2 * d);
+  const std::size_t floor_each = (d + sizes.size() - 1) / sizes.size();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_GE(adv.candidates(i), floor_each) << "P" << i + 1;
+  }
+}
+
+TEST(AdversaryTest, RankVariantStillPaysItsBound) {
+  std::vector<std::size_t> sizes(16, 128);  // n = 2048
+  const std::size_t d = 64;
+  SelectionAdversary adv(sizes, d);
+  const double bound = selection_messages_lower_rank(sizes, d);
+  std::size_t guard = 0;
+  while (adv.total_candidates() > 2 && ++guard < 100000) {
+    for (std::size_t proc = 0; proc < sizes.size(); ++proc) {
+      if (adv.total_candidates() <= 2) break;
+      const std::size_t c = adv.candidates(proc);
+      if (c > 0) adv.expose(proc, (c + 1) / 2);
+    }
+  }
+  EXPECT_GE(double(adv.messages()), bound - double(sizes.size()));
+}
+
+TEST(AdversaryTest, RankVariantLeavesSmallInputsAlone) {
+  // d large relative to the sizes: nothing needs trimming; identical to
+  // the Theorem 1 game.
+  std::vector<std::size_t> sizes{6, 4, 8, 2};
+  SelectionAdversary t1(sizes);
+  SelectionAdversary t2(sizes, 100);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(t1.candidates(i), t2.candidates(i));
+  }
+}
+
+TEST(AdversaryTest, OptimalStrategyStaysNearTheBound) {
+  // Always exposing the median is the algorithm's best play; the message
+  // count must be Theta(bound) — within a small constant factor above it.
+  std::vector<std::size_t> sizes(16, 256);
+  SelectionAdversary adv(sizes);
+  const double bound = selection_messages_lower(sizes);
+  std::size_t guard = 0;
+  while (adv.total_candidates() > 2) {
+    for (std::size_t proc = 0; proc < sizes.size(); ++proc) {
+      if (adv.total_candidates() <= 2) break;
+      const std::size_t c = adv.candidates(proc);
+      if (c > 0) adv.expose(proc, (c + 1) / 2);
+    }
+    ASSERT_LT(++guard, 10000u);
+  }
+  EXPECT_GE(double(adv.messages()), bound - double(sizes.size()));
+  EXPECT_LE(double(adv.messages()), 4.0 * bound + 16.0);
+}
+
+TEST(AdversaryTest, RealSelectionBeatsLowerBoundWithinConstant) {
+  // Our algorithm's measured messages on random inputs sit between the
+  // Omega lower bound and a constant multiple of the Theta term.
+  for (auto [p, k, n] : std::vector<std::array<std::size_t, 3>>{
+           {8, 2, 256}, {16, 4, 1024}, {32, 4, 2048}}) {
+    auto w = util::make_workload(n, p, util::Shape::kEven, 3);
+    std::vector<std::size_t> sizes(p, n / p);
+    auto res = algo::select_median({.p = p, .k = k}, w.inputs);
+    EXPECT_GE(double(res.stats.messages), selection_messages_lower(sizes));
+    EXPECT_LE(double(res.stats.messages),
+              60.0 * selection_messages_term(p, k, n));
+  }
+}
+
+}  // namespace
+}  // namespace mcb::theory

@@ -1,0 +1,142 @@
+// Tests of the uneven-distribution sorting algorithm (Section 7.2):
+// correctness across skew shapes, segment ownership by original counts, the
+// Theta(max{n/k, n_max}) cycle bound and Theta(n) message bound of
+// Corollary 6, and group-formation edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/common.hpp"
+#include "algo/uneven_sort.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::algo {
+namespace {
+
+void expect_sorted_outputs(const std::vector<std::vector<Word>>& inputs,
+                           const std::vector<std::vector<Word>>& outputs) {
+  std::vector<Word> all;
+  for (const auto& x : inputs) all.insert(all.end(), x.begin(), x.end());
+  std::sort(all.begin(), all.end(), std::greater<Word>{});
+  std::size_t at = 0;
+  ASSERT_EQ(inputs.size(), outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    ASSERT_EQ(outputs[i].size(), inputs[i].size())
+        << "P" << i + 1 << " count changed";
+    for (Word w : outputs[i]) {
+      ASSERT_EQ(w, all[at]) << "P" << i + 1 << " rank " << at;
+      ++at;
+    }
+  }
+}
+
+struct Shape {
+  std::size_t p, k, n;
+  util::Shape dist;
+};
+
+class UnevenSortSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(UnevenSortSweep, SortsAndMeetsBounds) {
+  const auto& prm = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto w = util::make_workload(prm.n, prm.p, prm.dist, seed + 1);
+    auto res = uneven_sort({.p = prm.p, .k = prm.k}, w.inputs);
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+    EXPECT_LE(res.groups, prm.k);
+
+    const std::size_t n_max = w.max_local();
+    const std::size_t bound_driver =
+        std::max(prm.n / prm.k, n_max) + prm.k * prm.k + prm.p;
+    EXPECT_LE(res.run.stats.cycles, 10 * bound_driver)
+        << "cycles vs Theta(max{n/k, n_max})";
+    EXPECT_LE(res.run.stats.messages, 10 * prm.n + 8 * prm.p)
+        << "messages vs Theta(n)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UnevenSortSweep,
+    ::testing::ValuesIn(std::vector<Shape>{
+        {4, 2, 64, util::Shape::kZipf},
+        {4, 2, 64, util::Shape::kOneHot},
+        {8, 4, 400, util::Shape::kRandom},
+        {8, 4, 400, util::Shape::kZipf},
+        {8, 4, 400, util::Shape::kStaircase},
+        {16, 4, 1000, util::Shape::kZipf},
+        {16, 4, 1000, util::Shape::kOneHot},
+        {16, 8, 4096, util::Shape::kRandom},
+        {5, 3, 200, util::Shape::kStaircase},
+        {7, 2, 133, util::Shape::kRandom},
+        {12, 4, 480, util::Shape::kEven},  // even input is a special case
+        {3, 1, 60, util::Shape::kZipf},    // single channel
+    }),
+    [](const auto& pinfo) {
+      return "p" + std::to_string(pinfo.param.p) + "_k" +
+             std::to_string(pinfo.param.k) + "_n" +
+             std::to_string(pinfo.param.n) + "_" +
+             util::to_string(pinfo.param.dist);
+    });
+
+TEST(UnevenSortTest, SingleProcessor) {
+  std::vector<std::vector<Word>> inputs{{3, 1, 4, 1, 5, 9, 2, 6}};
+  auto res = uneven_sort({.p = 1, .k = 1}, inputs);
+  EXPECT_EQ(res.run.outputs[0], (std::vector<Word>{9, 6, 5, 4, 3, 2, 1, 1}));
+}
+
+TEST(UnevenSortTest, OneElementEach) {
+  std::vector<std::vector<Word>> inputs{{4}, {1}, {3}, {2}};
+  auto res = uneven_sort({.p = 4, .k = 2}, inputs);
+  expect_sorted_outputs(inputs, res.run.outputs);
+}
+
+TEST(UnevenSortTest, ExtremeSkewSingleHolder) {
+  // One processor holds everything except one element each elsewhere.
+  auto w = util::make_workload(200, 8, util::Shape::kOneHot, 7);
+  auto res = uneven_sort({.p = 8, .k = 4}, w.inputs);
+  expect_sorted_outputs(w.inputs, res.run.outputs);
+  // n_max ~ n: the cycle bound degrades to Theta(n_max), which is expected.
+  EXPECT_LE(res.run.stats.cycles, 12 * w.max_local());
+}
+
+TEST(UnevenSortTest, GroupCountNeverExceedsK) {
+  for (std::size_t k : {1u, 2u, 3u, 5u, 8u}) {
+    auto w = util::make_workload(600, 8, util::Shape::kRandom, k);
+    auto res = uneven_sort({.p = 8, .k = k}, w.inputs);
+    EXPECT_LE(res.groups, k);
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+  }
+}
+
+TEST(UnevenSortTest, EmptyProcessorRejected) {
+  std::vector<std::vector<Word>> inputs{{1, 2}, {}};
+  EXPECT_THROW(uneven_sort({.p = 2, .k = 1}, inputs), std::invalid_argument);
+}
+
+TEST(UnevenSortTest, DummyValueRejected) {
+  std::vector<std::vector<Word>> inputs{{1}, {kDummy}};
+  EXPECT_THROW(uneven_sort({.p = 2, .k = 2}, inputs), std::invalid_argument);
+}
+
+TEST(UnevenSortTest, DuplicatesAcrossProcessors) {
+  std::vector<std::vector<Word>> inputs{{5, 5, 5}, {5, 5}, {5, 1, 9}, {5}};
+  auto res = uneven_sort({.p = 4, .k = 2}, inputs);
+  expect_sorted_outputs(inputs, res.run.outputs);
+}
+
+TEST(UnevenSortTest, PhaseBreakdownCoversRun) {
+  auto w = util::make_workload(512, 8, util::Shape::kZipf, 3);
+  auto res = uneven_sort({.p = 8, .k = 4}, w.inputs);
+  Cycle total = 0;
+  for (const char* ph : {"phase0a:form", "phase0b:collect", "core:columnsort",
+                         "phase10:redistribute"}) {
+    const auto* stats = res.run.stats.phase(ph);
+    ASSERT_NE(stats, nullptr) << ph;
+    total += stats->cycles;
+  }
+  EXPECT_EQ(total, res.run.stats.cycles);
+}
+
+}  // namespace
+}  // namespace mcb::algo

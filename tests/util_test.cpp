@@ -1,0 +1,180 @@
+// Tests of the utility substrate: deterministic RNG, table rendering, and
+// the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::util {
+namespace {
+
+// --- Xoshiro256** -----------------------------------------------------------
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Xoshiro256StarStar a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(-5, 17);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+  }
+}
+
+TEST(RandomTest, UniformDegenerateRange) {
+  Xoshiro256StarStar rng(7);
+  EXPECT_EQ(rng.uniform(3, 3), 3);
+  EXPECT_THROW(rng.uniform(4, 3), std::invalid_argument);
+}
+
+TEST(RandomTest, UniformCoversRangeRoughlyEvenly) {
+  Xoshiro256StarStar rng(11);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++hits[static_cast<std::size_t>(rng.uniform(0, 9))];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 9000);
+    EXPECT_LT(h, 11000);
+  }
+}
+
+TEST(RandomTest, Uniform01InHalfOpenUnit) {
+  Xoshiro256StarStar rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, ShuffleIsAPermutation) {
+  Xoshiro256StarStar rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// --- Table -------------------------------------------------------------------
+
+TEST(TableTest, AlignsNumericRightTextLeft) {
+  Table t;
+  t.header({"name", "value"});
+  t.row({Table::txt("a"), Table::num(5)});
+  t.row({Table::txt("long-name"), Table::num(12345)});
+  const auto s = t.str();
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("    5"), std::string::npos);  // right-aligned
+  EXPECT_NE(s.find("-----"), std::string::npos);  // header underline
+}
+
+TEST(TableTest, DoublePrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2).text, "1.23");
+  EXPECT_EQ(Table::num(2.0, 0).text, "2");
+}
+
+TEST(TableTest, RowWidthMismatchRejected) {
+  Table t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({Table::num(1)}), std::logic_error);
+}
+
+TEST(TableTest, HeaderlessTable) {
+  Table t;
+  t.row({Table::num(1), Table::num(2)});
+  EXPECT_EQ(t.str(), "1  2\n");
+}
+
+// --- workloads ----------------------------------------------------------------
+
+TEST(WorkloadTest, CardinalitiesSumAndPositivity) {
+  for (auto shape : {Shape::kEven, Shape::kZipf, Shape::kOneHot,
+                     Shape::kRandom, Shape::kStaircase}) {
+    for (auto [n, p] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {64, 8}, {1000, 7}, {33, 33}}) {
+      if (shape == Shape::kEven && n % p != 0) continue;
+      auto sizes = cardinalities(n, p, shape, 3);
+      EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}),
+                n)
+          << to_string(shape);
+      for (auto s : sizes) {
+        EXPECT_GE(s, 1u) << to_string(shape);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, ShapesHaveTheirSignatures) {
+  auto even = cardinalities(800, 8, Shape::kEven, 1);
+  EXPECT_TRUE(std::all_of(even.begin(), even.end(),
+                          [](std::size_t s) { return s == 100; }));
+
+  auto onehot = cardinalities(800, 8, Shape::kOneHot, 1);
+  EXPECT_EQ(onehot[0], 800u - 7u);
+
+  auto zipf = cardinalities(800, 8, Shape::kZipf, 1);
+  EXPECT_GT(zipf[0], zipf[7]);
+
+  auto stairs = cardinalities(800, 8, Shape::kStaircase, 1);
+  EXPECT_LT(stairs[0], stairs[7]);
+}
+
+TEST(WorkloadTest, ValuesAreDistinct) {
+  auto w = make_workload(500, 10, Shape::kRandom, 5);
+  std::set<Word> seen;
+  for (const auto& in : w.inputs) {
+    for (Word v : in) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+    }
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  auto a = make_workload(200, 5, Shape::kZipf, 9);
+  auto b = make_workload(200, 5, Shape::kZipf, 9);
+  EXPECT_EQ(a.inputs, b.inputs);
+  auto c = make_workload(200, 5, Shape::kZipf, 10);
+  EXPECT_NE(a.inputs, c.inputs);
+}
+
+TEST(WorkloadTest, MaxLocalAccessors) {
+  Workload w;
+  w.inputs = {{1, 2, 3}, {4}, {5, 6}};
+  EXPECT_EQ(w.total(), 6u);
+  EXPECT_EQ(w.max_local(), 3u);
+  EXPECT_EQ(w.max2_local(), 2u);
+}
+
+TEST(WorkloadTest, EvenRequiresDivisibility) {
+  EXPECT_THROW(cardinalities(10, 3, Shape::kEven, 0),
+               std::invalid_argument);
+  EXPECT_THROW(cardinalities(2, 4, Shape::kRandom, 0),
+               std::invalid_argument);  // n < p
+}
+
+}  // namespace
+}  // namespace mcb::util

@@ -1,0 +1,122 @@
+// Tests of the memory-efficient virtual-column Columnsort (Section 6.1):
+// correctness with both local-sort backends, cycle/message bounds, and —
+// the point of the algorithm — bounded per-processor storage (no processor
+// ever holds Theta(n/k) elements, unlike the gather-based variant).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/columnsort_even.hpp"
+#include "algo/virtual_columnsort.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::algo {
+namespace {
+
+void expect_sorted_outputs(const std::vector<std::vector<Word>>& inputs,
+                           const std::vector<std::vector<Word>>& outputs) {
+  std::vector<Word> all;
+  for (const auto& x : inputs) all.insert(all.end(), x.begin(), x.end());
+  std::sort(all.begin(), all.end(), std::greater<Word>{});
+  std::size_t at = 0;
+  ASSERT_EQ(inputs.size(), outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    ASSERT_EQ(outputs[i].size(), inputs[i].size()) << "P" << i + 1;
+    for (Word w : outputs[i]) {
+      ASSERT_EQ(w, all[at]) << "P" << i + 1 << " rank " << at;
+      ++at;
+    }
+  }
+}
+
+struct Shape {
+  std::size_t p, k, ni;
+  LocalSort ls;
+};
+
+class VirtualSortSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(VirtualSortSweep, SortsAndMeetsBounds) {
+  const auto& prm = GetParam();
+  const std::size_t n = prm.p * prm.ni;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    auto w = util::make_workload(n, prm.p, util::Shape::kEven, seed);
+    auto res = virtual_columnsort({.p = prm.p, .k = prm.k}, w.inputs,
+                                  {.local_sort = prm.ls});
+    expect_sorted_outputs(w.inputs, res.run.outputs);
+    const std::size_t kk = res.columns;
+    // O(n/kk) cycles, O(n) messages; constants cover the four group sorts
+    // (<= 4m or 3g+4m cycles each), four transforms and redistribution.
+    EXPECT_LE(res.run.stats.cycles,
+              30 * (n / kk) + 30 * kk * kk + 20 * prm.p)
+        << "p=" << prm.p << " k=" << prm.k;
+    EXPECT_LE(res.run.stats.messages, 30 * n + 20 * prm.p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VirtualSortSweep,
+    ::testing::ValuesIn(std::vector<Shape>{
+        {8, 2, 4, LocalSort::kRankSort},
+        {8, 2, 4, LocalSort::kMergeSort},
+        {16, 4, 16, LocalSort::kRankSort},
+        {16, 4, 16, LocalSort::kMergeSort},
+        {16, 4, 13, LocalSort::kRankSort},   // padding path
+        {16, 4, 13, LocalSort::kMergeSort},
+        {32, 8, 49, LocalSort::kRankSort},
+        {12, 3, 17, LocalSort::kMergeSort},
+        {4, 1, 8, LocalSort::kRankSort},     // single column
+        {4, 4, 12, LocalSort::kRankSort},    // g == 1: local sorts
+        {64, 8, 10, LocalSort::kMergeSort},
+        {16, 8, 2, LocalSort::kRankSort},    // fewer-columns fallback
+    }),
+    [](const auto& pinfo) {
+      return "p" + std::to_string(pinfo.param.p) + "_k" +
+             std::to_string(pinfo.param.k) + "_ni" +
+             std::to_string(pinfo.param.ni) +
+             (pinfo.param.ls == LocalSort::kRankSort ? "_rank" : "_merge");
+    });
+
+TEST(VirtualColumnsortTest, MemoryStaysNearSliceSize) {
+  // The gather-based algorithm concentrates m = n/kk elements in each
+  // representative; the virtual version keeps every processor near its
+  // slice size n/p. Compare peak storage directly.
+  const std::size_t p = 16, k = 4, ni = 32;
+  auto w = util::make_workload(p * ni, p, util::Shape::kEven, 1);
+
+  auto gathered = columnsort_even({.p = p, .k = k}, w.inputs);
+  auto virt = virtual_columnsort({.p = p, .k = k}, w.inputs);
+  expect_sorted_outputs(w.inputs, virt.run.outputs);
+
+  // Gather-based: a representative holds a whole column (m = 128 words).
+  EXPECT_GE(gathered.run.stats.max_peak_aux(), p * ni / gathered.columns);
+  // Virtual: every processor stays within a few multiples of its slice.
+  EXPECT_LE(virt.run.stats.max_peak_aux(), 6 * ni);
+}
+
+TEST(VirtualColumnsortTest, BackendsAgreeExactly) {
+  auto w = util::make_workload(512, 16, util::Shape::kEven, 9);
+  auto a = virtual_columnsort({.p = 16, .k = 4}, w.inputs,
+                              {.local_sort = LocalSort::kRankSort});
+  auto b = virtual_columnsort({.p = 16, .k = 4}, w.inputs,
+                              {.local_sort = LocalSort::kMergeSort});
+  EXPECT_EQ(a.run.outputs, b.run.outputs);
+}
+
+TEST(VirtualColumnsortTest, MatchesGatherBasedResult) {
+  auto w = util::make_workload(768, 16, util::Shape::kEven, 10);
+  auto a = columnsort_even({.p = 16, .k = 4}, w.inputs);
+  auto b = virtual_columnsort({.p = 16, .k = 4}, w.inputs);
+  EXPECT_EQ(a.run.outputs, b.run.outputs);
+}
+
+TEST(VirtualColumnsortTest, DuplicatesHandled) {
+  std::vector<std::vector<Word>> inputs{
+      {4, 4, 4, 4}, {2, 2, 2, 2}, {4, 2, 4, 2}, {3, 3, 3, 3}};
+  auto res = virtual_columnsort({.p = 4, .k = 2}, inputs);
+  expect_sorted_outputs(inputs, res.run.outputs);
+}
+
+}  // namespace
+}  // namespace mcb::algo

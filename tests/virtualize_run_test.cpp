@@ -1,0 +1,129 @@
+// Tests of the executable virtualization (Section 2's simulation lemma,
+// run for real): a recorded MCB(p', k') computation is replayed through
+// relay processors on a smaller MCB(p, k), with every delivery verified
+// and the closed-form cost matched exactly.
+#include <gtest/gtest.h>
+
+#include "algo/columnsort_even.hpp"
+#include "algo/partial_sums.hpp"
+#include "mcb/virtualize.hpp"
+#include "util/workload.hpp"
+
+namespace mcb {
+namespace {
+
+TEST(VirtualizedRunTest, IdentityHostingIsExact) {
+  // real == virtual: overhead 1, message count unchanged.
+  auto res = run_virtualized(
+      {.p = 4, .k = 2}, {.p = 4, .k = 2}, [](Network& net) {
+        auto prog = [](Proc& self) -> ProcMain {
+          auto ps = co_await algo::partial_sums(
+              self, static_cast<Word>(self.id()), algo::SumOp::add(),
+              {.with_total = true});
+          (void)ps;
+        };
+        for (ProcId i = 0; i < 4; ++i) net.install(i, prog(net.proc(i)));
+      });
+  EXPECT_EQ(res.real_stats.cycles, res.virtual_stats.cycles);
+  EXPECT_EQ(res.real_stats.messages, res.virtual_stats.messages);
+}
+
+TEST(VirtualizedRunTest, ChannelOnlyVirtualization) {
+  // p' == p, k' = 4k: overhead exactly k'/k (the paper's bound).
+  auto res = run_virtualized(
+      {.p = 8, .k = 2}, {.p = 8, .k = 8}, [](Network& net) {
+        auto w = util::make_workload(64, 8, util::Shape::kEven, 1);
+        // A columnsort needs per-proc output storage that outlives install;
+        // use a simpler traffic generator: rotate messages around all 8
+        // channels for 10 cycles.
+        auto prog = [](Proc& self, std::vector<Word> vals) -> ProcMain {
+          for (std::size_t t = 0; t < vals.size(); ++t) {
+            const auto wch = static_cast<ChannelId>(self.id());
+            const auto rch =
+                static_cast<ChannelId>((self.id() + t + 1) % self.k());
+            auto got = co_await self.write_read(
+                wch, Message::of(vals[t]), rch);
+            (void)got;
+          }
+        };
+        for (ProcId i = 0; i < 8; ++i) {
+          net.install(i, prog(net.proc(i), w.inputs[i]));
+        }
+      });
+  EXPECT_EQ(res.predicted.hosts, 1u);
+  EXPECT_EQ(res.predicted.channel_mux, 4u);
+  EXPECT_EQ(res.real_stats.cycles, 4 * res.virtual_stats.cycles);
+  EXPECT_EQ(res.real_stats.messages, res.virtual_stats.messages);
+}
+
+TEST(VirtualizedRunTest, HostedProcessorsPayQuadratic) {
+  // p' = 4p: h = 4, so h^2 * c subrounds per cycle and 4 copies of every
+  // message. The run_virtualized internals verify every delivery; here we
+  // check the accounting contract.
+  auto res = run_virtualized(
+      {.p = 2, .k = 1}, {.p = 8, .k = 2}, [](Network& net) {
+        auto w = util::make_workload(32, 8, util::Shape::kEven, 2);
+        auto prog = [](Proc& self, std::vector<Word> vals) -> ProcMain {
+          // Neighbour ring exchange on two channels.
+          for (Word v : vals) {
+            const auto wch = static_cast<ChannelId>(self.id() % 2);
+            if (self.id() < 2) {
+              co_await self.write(wch, Message::of(v));
+            } else {
+              co_await self.read(static_cast<ChannelId>(self.id() % 2));
+            }
+          }
+        };
+        for (ProcId i = 0; i < 8; ++i) {
+          net.install(i, prog(net.proc(i), w.inputs[i]));
+        }
+      });
+  EXPECT_EQ(res.predicted.hosts, 4u);
+  EXPECT_EQ(res.predicted.channel_mux, 2u);
+  EXPECT_EQ(res.real_stats.cycles, 32 * res.virtual_stats.cycles);
+  EXPECT_EQ(res.real_stats.messages, 4 * res.virtual_stats.messages);
+}
+
+TEST(VirtualizedRunTest, HostsAWholeColumnsort) {
+  // End to end: a full distributed sort on MCB(16,4), hosted on MCB(4,2).
+  auto w = util::make_workload(256, 16, util::Shape::kEven, 3);
+  std::vector<std::vector<Word>> outputs(16);
+  auto res = run_virtualized(
+      {.p = 4, .k = 2}, {.p = 16, .k = 4}, [&](Network& net) {
+        // Reuse the pair collective through a plain program.
+        static const auto plan = algo::EvenSortPlan::build(16, 4, 16);
+        auto prog = [](Proc& self, const std::vector<Word>& in,
+                       std::vector<Word>& out) -> ProcMain {
+          std::vector<algo::KV> kv;
+          kv.reserve(in.size());
+          for (Word v : in) kv.push_back(algo::KV{v, 0});
+          co_await algo::columnsort_even_collective(self, plan, kv);
+          out.clear();
+          for (const auto& e : kv) out.push_back(e.key);
+        };
+        for (ProcId i = 0; i < 16; ++i) {
+          net.install(i, prog(net.proc(i), w.inputs[i], outputs[i]));
+        }
+      });
+  // The virtual computation really sorted...
+  Word prev = outputs[0][0];
+  for (const auto& out : outputs) {
+    for (Word v : out) {
+      ASSERT_LE(v, prev);
+      prev = v;
+    }
+  }
+  // ... and the hosted execution carried it within the predicted budget.
+  EXPECT_EQ(res.predicted.hosts, 4u);
+  EXPECT_EQ(res.real_stats.cycles,
+            res.virtual_stats.cycles * 4 * 4 * 2);
+}
+
+TEST(VirtualizedRunTest, RejectsNonDividingShapes) {
+  EXPECT_THROW(run_virtualized({.p = 3, .k = 1}, {.p = 8, .k = 2},
+                               [](Network&) {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcb

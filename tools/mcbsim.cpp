@@ -1,0 +1,240 @@
+// mcbsim — command-line driver for the MCB library.
+//
+//   mcbsim sort    --p 16 --k 4 --n 1024 [--shape even] [--seed 1]
+//                  [--algorithm auto] [--json]
+//   mcbsim select  --p 16 --k 4 --n 1024 [--rank d | median by default]
+//                  [--shape even] [--seed 1] [--json]
+//   mcbsim psum    --p 16 --k 4 [--op add|max|min]
+//   mcbsim trace   --p 4  [--n 48] [--seed 3]   (cycle-level channel dump)
+//   mcbsim bounds  --p 16 --k 4 --n 1024 [--shape even] [--d rank]
+//
+// Exit code 0 on success; 2 on usage errors.
+#include <iostream>
+
+#include "mcb/mcb.hpp"
+#include "se/shout_echo.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mcb;
+
+util::Shape parse_shape(const std::string& s) {
+  if (s == "even") return util::Shape::kEven;
+  if (s == "zipf") return util::Shape::kZipf;
+  if (s == "onehot") return util::Shape::kOneHot;
+  if (s == "random") return util::Shape::kRandom;
+  if (s == "staircase") return util::Shape::kStaircase;
+  throw std::invalid_argument("unknown shape '" + s +
+                              "' (even|zipf|onehot|random|staircase)");
+}
+
+algo::SortAlgorithm parse_algorithm(const std::string& s) {
+  if (s == "auto") return algo::SortAlgorithm::kAuto;
+  if (s == "columnsort") return algo::SortAlgorithm::kColumnsortEven;
+  if (s == "virtual") return algo::SortAlgorithm::kVirtualColumnsort;
+  if (s == "recursive") return algo::SortAlgorithm::kRecursive;
+  if (s == "uneven") return algo::SortAlgorithm::kUnevenColumnsort;
+  if (s == "ranksort") return algo::SortAlgorithm::kRankSort;
+  if (s == "mergesort") return algo::SortAlgorithm::kMergeSort;
+  if (s == "central") return algo::SortAlgorithm::kCentral;
+  throw std::invalid_argument(
+      "unknown algorithm '" + s +
+      "' (auto|columnsort|virtual|recursive|uneven|ranksort|mergesort|"
+      "central)");
+}
+
+void print_stats_json(const RunStats& stats, std::ostream& os) {
+  os << "{\"cycles\":" << stats.cycles << ",\"messages\":" << stats.messages
+     << ",\"peak_aux_words\":" << stats.max_peak_aux() << ",\"phases\":[";
+  for (std::size_t i = 0; i < stats.phases.size(); ++i) {
+    const auto& ph = stats.phases[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << ph.name << "\",\"cycles\":" << ph.cycles
+       << ",\"messages\":" << ph.messages << '}';
+  }
+  os << "]}";
+}
+
+void print_stats_text(const RunStats& stats, std::ostream& os) {
+  util::Table t;
+  t.header({"phase", "cycles", "messages"});
+  for (const auto& ph : stats.phases) {
+    t.row({util::Table::txt(ph.name), util::Table::num(ph.cycles),
+           util::Table::num(ph.messages)});
+  }
+  t.row({util::Table::txt("TOTAL"), util::Table::num(stats.cycles),
+         util::Table::num(stats.messages)});
+  os << t;
+}
+
+int cmd_sort(const util::Cli& cli) {
+  const auto p = cli.get_uint("p", 16);
+  const auto k = cli.get_uint("k", 4);
+  const auto n = cli.get_uint("n", 1024);
+  const auto shape = parse_shape(cli.get_string("shape", "even"));
+  const auto seed = cli.get_uint("seed", 1);
+  const auto algorithm = parse_algorithm(cli.get_string("algorithm", "auto"));
+  const bool json = cli.get_bool("json");
+
+  auto w = util::make_workload(n, p, shape, seed);
+  auto res = algo::sort({.p = p, .k = k}, w.inputs, {.algorithm = algorithm});
+  if (json) {
+    std::cout << "{\"algorithm\":\"" << algo::to_string(res.used) << "\",";
+    std::cout << "\"stats\":";
+    print_stats_json(res.run.stats, std::cout);
+    std::cout << "}\n";
+  } else {
+    std::cout << "sorted n=" << n << " over MCB(" << p << "," << k
+              << ") with " << algo::to_string(res.used) << "\n";
+    print_stats_text(res.run.stats, std::cout);
+  }
+  return 0;
+}
+
+int cmd_select(const util::Cli& cli) {
+  const auto p = cli.get_uint("p", 16);
+  const auto k = cli.get_uint("k", 4);
+  const auto n = cli.get_uint("n", 1024);
+  const auto shape = parse_shape(cli.get_string("shape", "even"));
+  const auto seed = cli.get_uint("seed", 1);
+  const auto d = cli.get_uint("rank", (n + 1) / 2);
+  const bool json = cli.get_bool("json");
+  const bool shout_echo = cli.get_bool("shout-echo");
+
+  auto w = util::make_workload(n, p, shape, seed);
+  if (shout_echo) {
+    auto res = se::se_select_rank(w.inputs, d);
+    if (json) {
+      std::cout << "{\"value\":" << res.value
+                << ",\"activities\":" << res.stats.activities
+                << ",\"messages\":" << res.stats.messages << "}\n";
+    } else {
+      std::cout << "N[" << d << "] = " << res.value << "  ("
+                << res.stats.activities << " shout-echo activities, "
+                << res.stats.messages << " messages)\n";
+    }
+    return 0;
+  }
+  auto res = algo::select_rank({.p = p, .k = k}, w.inputs, d);
+  if (json) {
+    std::cout << "{\"value\":" << res.value
+              << ",\"filter_phases\":" << res.filter_phases << ",\"stats\":";
+    print_stats_json(res.stats, std::cout);
+    std::cout << "}\n";
+  } else {
+    std::cout << "N[" << d << "] = " << res.value << "  ("
+              << res.filter_phases << " filtering phases)\n";
+    print_stats_text(res.stats, std::cout);
+  }
+  return 0;
+}
+
+int cmd_psum(const util::Cli& cli) {
+  const auto p = cli.get_uint("p", 16);
+  const auto k = cli.get_uint("k", 4);
+  const auto op_name = cli.get_string("op", "add");
+  algo::SumOp op = op_name == "add"   ? algo::SumOp::add()
+                   : op_name == "max" ? algo::SumOp::max()
+                   : op_name == "min" ? algo::SumOp::min()
+                                      : throw std::invalid_argument(
+                                            "unknown op (add|max|min)");
+  Network net({.p = p, .k = k});
+  std::vector<Word> results(p);
+  auto prog = [](Proc& self, const algo::SumOp& o, Word& out) -> ProcMain {
+    auto res = co_await algo::partial_sums(
+        self, static_cast<Word>(self.id() + 1), o, {.with_total = true});
+    out = res.self;
+  };
+  for (ProcId i = 0; i < p; ++i) {
+    net.install(i, prog(net.proc(i), op, results[i]));
+  }
+  auto stats = net.run();
+  std::cout << "prefix " << op_name << " of 1..p over MCB(" << p << "," << k
+            << "): " << stats.cycles << " cycles, " << stats.messages
+            << " messages\n";
+  for (std::size_t i = 0; i < p; ++i) {
+    std::cout << results[i] << (i + 1 < p ? ' ' : '\n');
+  }
+  return 0;
+}
+
+int cmd_trace(const util::Cli& cli) {
+  const auto p = cli.get_uint("p", 4);
+  const auto n = cli.get_uint("n", p * p * (p - 1));
+  const auto seed = cli.get_uint("seed", 3);
+  ChannelTrace trace(cli.get_uint("limit", 256));
+  auto w = util::make_workload(n, p, util::Shape::kEven, seed);
+  auto res = algo::columnsort_even({.p = p, .k = p}, w.inputs, {}, &trace);
+  std::cout << "columnsort on MCB(" << p << "," << p << "), n=" << n << ": "
+            << res.run.stats.cycles << " cycles\n"
+            << trace.render(p);
+  return 0;
+}
+
+int cmd_bounds(const util::Cli& cli) {
+  const auto p = cli.get_uint("p", 16);
+  const auto k = cli.get_uint("k", 4);
+  const auto n = cli.get_uint("n", 1024);
+  const auto shape = parse_shape(cli.get_string("shape", "even"));
+  const auto d = cli.get_uint("d", (n + 1) / 2);
+  auto sizes = util::cardinalities(n, p, shape, cli.get_uint("seed", 1));
+
+  util::Table t;
+  t.header({"quantity", "value"});
+  t.row({util::Table::txt("sorting msg lower (Thm 3)"),
+         util::Table::num(theory::sorting_messages_lower(sizes), 1)});
+  t.row({util::Table::txt("sorting cyc lower (Cor 3/Thm 5)"),
+         util::Table::num(theory::sorting_cycles_lower(sizes, k), 1)});
+  t.row({util::Table::txt("selection msg lower (Thm 1)"),
+         util::Table::num(theory::selection_messages_lower(sizes), 1)});
+  t.row({util::Table::txt("selection msg lower rank d (Thm 2)"),
+         util::Table::num(theory::selection_messages_lower_rank(sizes, d),
+                          1)});
+  t.row({util::Table::txt("selection msg Theta term (Cor 7)"),
+         util::Table::num(theory::selection_messages_term(p, k, n), 1)});
+  std::cout << t;
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: mcbsim <sort|select|psum|trace|bounds> [--flags]\n"
+      "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--json]\n"
+      "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo] "
+      "[--json]\n"
+      "  psum    --p --k [--op add|max|min]\n"
+      "  trace   --p [--n] [--seed] [--limit]\n"
+      "  bounds  --p --k --n [--shape] [--d]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto cli = util::Cli::parse(argc, argv);
+    int rc;
+    if (cli.command() == "sort") {
+      rc = cmd_sort(cli);
+    } else if (cli.command() == "select") {
+      rc = cmd_select(cli);
+    } else if (cli.command() == "psum") {
+      rc = cmd_psum(cli);
+    } else if (cli.command() == "trace") {
+      rc = cmd_trace(cli);
+    } else if (cli.command() == "bounds") {
+      rc = cmd_bounds(cli);
+    } else {
+      return usage();
+    }
+    for (const auto& f : cli.unused()) {
+      std::cerr << "warning: unused flag --" << f << '\n';
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
