@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_transformations.dir/bench_fig1_transformations.cpp.o"
+  "CMakeFiles/bench_fig1_transformations.dir/bench_fig1_transformations.cpp.o.d"
+  "bench_fig1_transformations"
+  "bench_fig1_transformations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_transformations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

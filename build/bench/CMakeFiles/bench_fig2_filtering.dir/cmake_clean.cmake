@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_filtering.dir/bench_fig2_filtering.cpp.o"
+  "CMakeFiles/bench_fig2_filtering.dir/bench_fig2_filtering.cpp.o.d"
+  "bench_fig2_filtering"
+  "bench_fig2_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

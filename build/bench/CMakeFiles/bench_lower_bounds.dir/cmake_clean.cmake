@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lower_bounds.dir/bench_lower_bounds.cpp.o"
+  "CMakeFiles/bench_lower_bounds.dir/bench_lower_bounds.cpp.o.d"
+  "bench_lower_bounds"
+  "bench_lower_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lower_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial_sums.dir/bench_partial_sums.cpp.o"
+  "CMakeFiles/bench_partial_sums.dir/bench_partial_sums.cpp.o.d"
+  "bench_partial_sums"
+  "bench_partial_sums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial_sums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

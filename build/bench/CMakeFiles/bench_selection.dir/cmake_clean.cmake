@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selection.dir/bench_selection.cpp.o"
+  "CMakeFiles/bench_selection.dir/bench_selection.cpp.o.d"
+  "bench_selection"
+  "bench_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_even.dir/bench_sort_even.cpp.o"
+  "CMakeFiles/bench_sort_even.dir/bench_sort_even.cpp.o.d"
+  "bench_sort_even"
+  "bench_sort_even.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sort_even.
+# This may be replaced when dependencies are built.

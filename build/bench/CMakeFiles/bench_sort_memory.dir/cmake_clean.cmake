@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_memory.dir/bench_sort_memory.cpp.o"
+  "CMakeFiles/bench_sort_memory.dir/bench_sort_memory.cpp.o.d"
+  "bench_sort_memory"
+  "bench_sort_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

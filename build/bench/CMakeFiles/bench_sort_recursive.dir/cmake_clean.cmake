@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_recursive.dir/bench_sort_recursive.cpp.o"
+  "CMakeFiles/bench_sort_recursive.dir/bench_sort_recursive.cpp.o.d"
+  "bench_sort_recursive"
+  "bench_sort_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

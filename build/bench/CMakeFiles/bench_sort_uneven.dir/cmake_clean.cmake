@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_uneven.dir/bench_sort_uneven.cpp.o"
+  "CMakeFiles/bench_sort_uneven.dir/bench_sort_uneven.cpp.o.d"
+  "bench_sort_uneven"
+  "bench_sort_uneven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_uneven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variant_ablation.dir/bench_variant_ablation.cpp.o"
+  "CMakeFiles/bench_variant_ablation.dir/bench_variant_ablation.cpp.o.d"
+  "bench_variant_ablation"
+  "bench_variant_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variant_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

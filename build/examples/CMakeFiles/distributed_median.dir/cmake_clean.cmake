@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_median.dir/distributed_median.cpp.o"
+  "CMakeFiles/distributed_median.dir/distributed_median.cpp.o.d"
+  "distributed_median"
+  "distributed_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

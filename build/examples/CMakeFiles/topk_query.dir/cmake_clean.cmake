@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_query.dir/topk_query.cpp.o"
+  "CMakeFiles/topk_query.dir/topk_query.cpp.o.d"
+  "topk_query"
+  "topk_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_visualizer.dir/trace_visualizer.cpp.o"
+  "CMakeFiles/trace_visualizer.dir/trace_visualizer.cpp.o.d"
+  "trace_visualizer"
+  "trace_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

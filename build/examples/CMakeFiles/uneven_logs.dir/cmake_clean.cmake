@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uneven_logs.dir/uneven_logs.cpp.o"
+  "CMakeFiles/uneven_logs.dir/uneven_logs.cpp.o.d"
+  "uneven_logs"
+  "uneven_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uneven_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

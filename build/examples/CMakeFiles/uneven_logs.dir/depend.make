@@ -1,0 +1,2 @@
+# Empty dependencies file for uneven_logs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_hardware.dir/virtual_hardware.cpp.o"
+  "CMakeFiles/virtual_hardware.dir/virtual_hardware.cpp.o.d"
+  "virtual_hardware"
+  "virtual_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

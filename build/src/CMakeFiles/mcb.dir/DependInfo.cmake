@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/baselines.cpp" "src/CMakeFiles/mcb.dir/algo/baselines.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/baselines.cpp.o.d"
+  "/root/repo/src/algo/collectives.cpp" "src/CMakeFiles/mcb.dir/algo/collectives.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/collectives.cpp.o.d"
+  "/root/repo/src/algo/columnsort_core.cpp" "src/CMakeFiles/mcb.dir/algo/columnsort_core.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/columnsort_core.cpp.o.d"
+  "/root/repo/src/algo/columnsort_even.cpp" "src/CMakeFiles/mcb.dir/algo/columnsort_even.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/columnsort_even.cpp.o.d"
+  "/root/repo/src/algo/mergesort.cpp" "src/CMakeFiles/mcb.dir/algo/mergesort.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/mergesort.cpp.o.d"
+  "/root/repo/src/algo/partial_sums.cpp" "src/CMakeFiles/mcb.dir/algo/partial_sums.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/partial_sums.cpp.o.d"
+  "/root/repo/src/algo/ranksort.cpp" "src/CMakeFiles/mcb.dir/algo/ranksort.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/ranksort.cpp.o.d"
+  "/root/repo/src/algo/recursive_columnsort.cpp" "src/CMakeFiles/mcb.dir/algo/recursive_columnsort.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/recursive_columnsort.cpp.o.d"
+  "/root/repo/src/algo/runner.cpp" "src/CMakeFiles/mcb.dir/algo/runner.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/runner.cpp.o.d"
+  "/root/repo/src/algo/selection.cpp" "src/CMakeFiles/mcb.dir/algo/selection.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/selection.cpp.o.d"
+  "/root/repo/src/algo/sort.cpp" "src/CMakeFiles/mcb.dir/algo/sort.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/sort.cpp.o.d"
+  "/root/repo/src/algo/uneven_sort.cpp" "src/CMakeFiles/mcb.dir/algo/uneven_sort.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/uneven_sort.cpp.o.d"
+  "/root/repo/src/algo/virtual_columnsort.cpp" "src/CMakeFiles/mcb.dir/algo/virtual_columnsort.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/algo/virtual_columnsort.cpp.o.d"
+  "/root/repo/src/mcb/message.cpp" "src/CMakeFiles/mcb.dir/mcb/message.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/mcb/message.cpp.o.d"
+  "/root/repo/src/mcb/network.cpp" "src/CMakeFiles/mcb.dir/mcb/network.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/mcb/network.cpp.o.d"
+  "/root/repo/src/mcb/proc.cpp" "src/CMakeFiles/mcb.dir/mcb/proc.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/mcb/proc.cpp.o.d"
+  "/root/repo/src/mcb/stats.cpp" "src/CMakeFiles/mcb.dir/mcb/stats.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/mcb/stats.cpp.o.d"
+  "/root/repo/src/mcb/trace.cpp" "src/CMakeFiles/mcb.dir/mcb/trace.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/mcb/trace.cpp.o.d"
+  "/root/repo/src/mcb/virtualize.cpp" "src/CMakeFiles/mcb.dir/mcb/virtualize.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/mcb/virtualize.cpp.o.d"
+  "/root/repo/src/sched/edge_coloring.cpp" "src/CMakeFiles/mcb.dir/sched/edge_coloring.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/sched/edge_coloring.cpp.o.d"
+  "/root/repo/src/sched/permutation.cpp" "src/CMakeFiles/mcb.dir/sched/permutation.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/sched/permutation.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/mcb.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/se/shout_echo.cpp" "src/CMakeFiles/mcb.dir/se/shout_echo.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/se/shout_echo.cpp.o.d"
+  "/root/repo/src/seq/columnsort.cpp" "src/CMakeFiles/mcb.dir/seq/columnsort.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/seq/columnsort.cpp.o.d"
+  "/root/repo/src/seq/selection.cpp" "src/CMakeFiles/mcb.dir/seq/selection.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/seq/selection.cpp.o.d"
+  "/root/repo/src/seq/sorting.cpp" "src/CMakeFiles/mcb.dir/seq/sorting.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/seq/sorting.cpp.o.d"
+  "/root/repo/src/theory/adversary.cpp" "src/CMakeFiles/mcb.dir/theory/adversary.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/theory/adversary.cpp.o.d"
+  "/root/repo/src/theory/bounds.cpp" "src/CMakeFiles/mcb.dir/theory/bounds.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/theory/bounds.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/mcb.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/mcb.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mcb.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/workload.cpp" "src/CMakeFiles/mcb.dir/util/workload.cpp.o" "gcc" "src/CMakeFiles/mcb.dir/util/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

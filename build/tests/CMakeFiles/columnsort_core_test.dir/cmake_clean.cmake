@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnsort_core_test.dir/columnsort_core_test.cpp.o"
+  "CMakeFiles/columnsort_core_test.dir/columnsort_core_test.cpp.o.d"
+  "columnsort_core_test"
+  "columnsort_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnsort_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

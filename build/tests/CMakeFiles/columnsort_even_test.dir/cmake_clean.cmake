@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnsort_even_test.dir/columnsort_even_test.cpp.o"
+  "CMakeFiles/columnsort_even_test.dir/columnsort_even_test.cpp.o.d"
+  "columnsort_even_test"
+  "columnsort_even_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnsort_even_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for columnsort_even_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/columnsort_test.dir/columnsort_test.cpp.o"
+  "CMakeFiles/columnsort_test.dir/columnsort_test.cpp.o.d"
+  "columnsort_test"
+  "columnsort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/columnsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_trace_test.dir/message_trace_test.cpp.o"
+  "CMakeFiles/message_trace_test.dir/message_trace_test.cpp.o.d"
+  "message_trace_test"
+  "message_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiread_test.dir/multiread_test.cpp.o"
+  "CMakeFiles/multiread_test.dir/multiread_test.cpp.o.d"
+  "multiread_test"
+  "multiread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

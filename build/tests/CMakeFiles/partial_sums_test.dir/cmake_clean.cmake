@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_sums_test.dir/partial_sums_test.cpp.o"
+  "CMakeFiles/partial_sums_test.dir/partial_sums_test.cpp.o.d"
+  "partial_sums_test"
+  "partial_sums_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_sums_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

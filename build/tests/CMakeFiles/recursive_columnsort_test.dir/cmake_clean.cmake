@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_columnsort_test.dir/recursive_columnsort_test.cpp.o"
+  "CMakeFiles/recursive_columnsort_test.dir/recursive_columnsort_test.cpp.o.d"
+  "recursive_columnsort_test"
+  "recursive_columnsort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_columnsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

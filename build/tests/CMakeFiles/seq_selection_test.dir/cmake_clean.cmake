@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_selection_test.dir/seq_selection_test.cpp.o"
+  "CMakeFiles/seq_selection_test.dir/seq_selection_test.cpp.o.d"
+  "seq_selection_test"
+  "seq_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

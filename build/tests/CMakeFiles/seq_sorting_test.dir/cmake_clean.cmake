@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_sorting_test.dir/seq_sorting_test.cpp.o"
+  "CMakeFiles/seq_sorting_test.dir/seq_sorting_test.cpp.o.d"
+  "seq_sorting_test"
+  "seq_sorting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_sorting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

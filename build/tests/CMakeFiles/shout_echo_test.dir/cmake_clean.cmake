@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shout_echo_test.dir/shout_echo_test.cpp.o"
+  "CMakeFiles/shout_echo_test.dir/shout_echo_test.cpp.o.d"
+  "shout_echo_test"
+  "shout_echo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shout_echo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

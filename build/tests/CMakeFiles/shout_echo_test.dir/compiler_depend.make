@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shout_echo_test.
+# This may be replaced when dependencies are built.

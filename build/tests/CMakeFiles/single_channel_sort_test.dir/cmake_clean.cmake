@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_channel_sort_test.dir/single_channel_sort_test.cpp.o"
+  "CMakeFiles/single_channel_sort_test.dir/single_channel_sort_test.cpp.o.d"
+  "single_channel_sort_test"
+  "single_channel_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_channel_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_api_test.dir/sort_api_test.cpp.o"
+  "CMakeFiles/sort_api_test.dir/sort_api_test.cpp.o.d"
+  "sort_api_test"
+  "sort_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_test.dir/theory_test.cpp.o"
+  "CMakeFiles/theory_test.dir/theory_test.cpp.o.d"
+  "theory_test"
+  "theory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

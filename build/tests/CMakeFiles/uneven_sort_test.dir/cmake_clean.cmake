@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uneven_sort_test.dir/uneven_sort_test.cpp.o"
+  "CMakeFiles/uneven_sort_test.dir/uneven_sort_test.cpp.o.d"
+  "uneven_sort_test"
+  "uneven_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uneven_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

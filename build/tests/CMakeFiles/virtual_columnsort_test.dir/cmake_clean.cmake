@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_columnsort_test.dir/virtual_columnsort_test.cpp.o"
+  "CMakeFiles/virtual_columnsort_test.dir/virtual_columnsort_test.cpp.o.d"
+  "virtual_columnsort_test"
+  "virtual_columnsort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_columnsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

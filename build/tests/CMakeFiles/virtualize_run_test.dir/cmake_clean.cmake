@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualize_run_test.dir/virtualize_run_test.cpp.o"
+  "CMakeFiles/virtualize_run_test.dir/virtualize_run_test.cpp.o.d"
+  "virtualize_run_test"
+  "virtualize_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualize_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

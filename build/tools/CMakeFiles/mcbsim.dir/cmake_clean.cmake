@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcbsim.dir/mcbsim.cpp.o"
+  "CMakeFiles/mcbsim.dir/mcbsim.cpp.o.d"
+  "mcbsim"
+  "mcbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcbsim.
+# This may be replaced when dependencies are built.

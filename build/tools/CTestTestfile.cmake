@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[mcbsim_sort]=] "/root/repo/build/tools/mcbsim" "sort" "--p" "8" "--k" "2" "--n" "128" "--shape" "zipf")
+set_tests_properties([=[mcbsim_sort]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[mcbsim_select]=] "/root/repo/build/tools/mcbsim" "select" "--p" "8" "--k" "2" "--n" "128" "--rank" "32" "--json")
+set_tests_properties([=[mcbsim_select]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[mcbsim_select_se]=] "/root/repo/build/tools/mcbsim" "select" "--p" "8" "--k" "2" "--n" "128" "--shout-echo")
+set_tests_properties([=[mcbsim_select_se]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[mcbsim_psum]=] "/root/repo/build/tools/mcbsim" "psum" "--p" "8" "--k" "4" "--op" "max")
+set_tests_properties([=[mcbsim_psum]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[mcbsim_bounds]=] "/root/repo/build/tools/mcbsim" "bounds" "--p" "8" "--k" "2" "--n" "512")
+set_tests_properties([=[mcbsim_bounds]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
