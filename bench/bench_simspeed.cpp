@@ -1,0 +1,159 @@
+// Simulator-throughput benchmark: event-driven engine vs the scan-the-world
+// reference loop, across (p, k) grids for sorting and selection.
+//
+// Unlike the other bench binaries (which measure the *model's* cycle and
+// message complexity), this one measures the *simulator's* wall-clock cost —
+// the quantity every future scaling experiment is bounded by. For each grid
+// point both engines run the identical workload; correctness of the
+// comparison rests on tests/scheduler_equivalence_test.cpp, which pins the
+// two engines to bit-identical accounting.
+//
+// Output: a per-grid-point table (wall ns, resumes, cycles/sec, speedup) and
+// a machine-readable BENCH_simspeed.json (path overridable as argv[1]) so
+// future PRs can track the simulator-performance trajectory.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/selection.hpp"
+#include "algo/sort.hpp"
+#include "bench_common.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::bench {
+namespace {
+
+struct GridPoint {
+  std::string bench;  // "sort" | "selection"
+  std::size_t p, k, n;
+};
+
+struct Row {
+  GridPoint pt;
+  RunStats ref;    // scan-the-world baseline
+  RunStats event;  // wake-queue engine
+  double speedup() const {
+    return event.sim_wall_ns == 0
+               ? 0.0
+               : static_cast<double>(ref.sim_wall_ns) /
+                     static_cast<double>(event.sim_wall_ns);
+  }
+};
+
+RunStats run_point(const GridPoint& pt, Engine engine) {
+  SimConfig cfg{.p = pt.p, .k = pt.k};
+  cfg.engine = engine;
+  const auto w = util::make_workload(pt.n, pt.p, util::Shape::kEven, 42);
+  if (pt.bench == "sort") {
+    auto res = algo::sort(cfg, w.inputs);
+    check_sorted(res.run.outputs);
+    return res.run.stats;
+  }
+  auto res = algo::select_median(cfg, w.inputs);
+  return res.stats;
+}
+
+std::string json_run_row(const Row& r, Engine engine) {
+  const RunStats& s = engine == Engine::kReference ? r.ref : r.event;
+  std::ostringstream os;
+  os << "    {\"bench\": \"" << r.pt.bench << "\", \"p\": " << r.pt.p
+     << ", \"k\": " << r.pt.k << ", \"n\": " << r.pt.n << ", \"engine\": \""
+     << (engine == Engine::kReference ? "reference" : "event") << "\""
+     << ", \"cycles\": " << s.cycles << ", \"messages\": " << s.messages
+     << ", \"sim_wall_ns\": " << s.sim_wall_ns
+     << ", \"proc_resumes\": " << s.proc_resumes
+     << ", \"cycles_per_sec\": " << s.cycles_per_sec << "}";
+  return os.str();
+}
+
+void write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::abort();
+  }
+  out << "{\n  \"benchmark\": \"simspeed\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << json_run_row(rows[i], Engine::kReference) << ",\n";
+    out << json_run_row(rows[i], Engine::kEventDriven)
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"speedups\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    {\"bench\": \"" << rows[i].pt.bench
+        << "\", \"p\": " << rows[i].pt.p << ", \"k\": " << rows[i].pt.k
+        << ", \"speedup\": " << rows[i].speedup() << "}"
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace mcb::bench
+
+int main(int argc, char** argv) {
+  using namespace mcb;
+  using namespace mcb::bench;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_simspeed.json";
+
+  // Sort stresses dense cycles (most processors participate every cycle);
+  // selection stresses the wake queue and the idle-cycle fast-forward (at
+  // p/k = 1024 nearly every processor is asleep in skip() at any instant —
+  // the acceptance workload for the event engine).
+  const std::vector<GridPoint> grid = {
+      {"sort", 64, 8, 256},        {"sort", 256, 16, 1024},
+      {"sort", 1024, 32, 4096},    {"selection", 256, 4, 1024},
+      {"selection", 1024, 4, 4096}, {"selection", 4096, 4, 16384},
+      {"selection", 1024, 32, 4096},
+  };
+
+  std::vector<Row> rows;
+  section("simulator throughput: event-driven vs scan-the-world reference");
+  util::Table t;
+  t.header({"bench", "p", "k", "n", "cycles", "ref wall ms", "event wall ms",
+            "ref resumes", "event resumes", "event cyc/s", "speedup"});
+  for (const auto& pt : grid) {
+    Row r{pt, run_point(pt, Engine::kReference),
+          run_point(pt, Engine::kEventDriven)};
+    if (r.ref.cycles != r.event.cycles ||
+        r.ref.messages != r.event.messages) {
+      std::cerr << "BENCH FAILURE: engines disagree on accounting at p="
+                << pt.p << " k=" << pt.k << "\n";
+      std::abort();
+    }
+    t.row({util::Table::txt(pt.bench), util::Table::num(pt.p),
+           util::Table::num(pt.k), util::Table::num(pt.n),
+           util::Table::num(r.ref.cycles),
+           util::Table::num(static_cast<double>(r.ref.sim_wall_ns) / 1e6, 2),
+           util::Table::num(static_cast<double>(r.event.sim_wall_ns) / 1e6,
+                            2),
+           util::Table::num(r.ref.proc_resumes),
+           util::Table::num(r.event.proc_resumes),
+           util::Table::num(r.event.cycles_per_sec, 0),
+           util::Table::num(r.speedup(), 2)});
+    rows.push_back(std::move(r));
+  }
+  std::cout << t;
+
+  write_json(rows, json_path);
+  std::cout << "\nwrote " << json_path << "\n";
+
+  // Guard the headline claim: the skip-heavy selection workload at p=4096,
+  // k=4 must run at least 5x faster under the event engine.
+  for (const auto& r : rows) {
+    if (r.pt.bench == "selection" && r.pt.p == 4096) {
+      if (r.speedup() < 5.0) {
+        std::cerr << "BENCH FAILURE: expected >= 5x speedup on selection "
+                     "p=4096 k=4, measured "
+                  << r.speedup() << "x\n";
+        return 1;
+      }
+      std::cout << "selection p=4096 k=4 speedup: " << r.speedup() << "x\n";
+    }
+  }
+  return 0;
+}

@@ -49,19 +49,22 @@ ProcMain central_program(Proc& self, const std::vector<Word>& input,
 
   if (i == 0) self.mark_phase("scatter");
   // P_1 broadcasts the sorted order rank by rank; everyone keeps its
-  // segment (ranks [lo, hi) — counts are preserved by sorting).
+  // segment (ranks [lo, hi) — counts are preserved by sorting) and sleeps
+  // outside its window.
   output.reserve(hi - lo);
-  for (std::size_t r = 0; r < n; ++r) {
-    if (i == 0) {
+  if (i == 0) {
+    for (std::size_t r = 0; r < n; ++r) {
       co_await self.write(0, Message::of(pool[r]));
       if (r >= lo && r < hi) output.push_back(pool[r]);
-    } else if (r >= lo && r < hi) {
+    }
+  } else {
+    if (lo > 0) co_await self.skip(lo);
+    for (std::size_t r = lo; r < hi; ++r) {
       auto got = co_await self.read(0);
       MCB_CHECK(got.has_value(), "scatter slot " << r << " empty");
       output.push_back(got->at(0));
-    } else {
-      co_await self.step();
     }
+    if (n > hi) co_await self.skip(n - hi);
   }
 }
 
@@ -108,17 +111,19 @@ ProcMain central_multiread_program(Proc& self, std::size_t ni,
   const std::size_t lo = i * ni;
   const std::size_t hi = lo + ni;
   output.reserve(ni);
-  for (std::size_t r = 0; r < n; ++r) {
-    if (i == 0) {
+  if (i == 0) {
+    for (std::size_t r = 0; r < n; ++r) {
       co_await self.write(0, Message::of(pool[r]));
       if (r >= lo && r < hi) output.push_back(pool[r]);
-    } else if (r >= lo && r < hi) {
+    }
+  } else {
+    if (lo > 0) co_await self.skip(lo);
+    for (std::size_t r = lo; r < hi; ++r) {
       auto got = co_await self.read(0);
       MCB_CHECK(got.has_value(), "scatter slot " << r << " empty");
       output.push_back(got->at(0));
-    } else {
-      co_await self.step();
     }
+    if (n > hi) co_await self.skip(n - hi);
   }
 }
 

@@ -127,27 +127,63 @@ Task<void> redistribute(Proc& self, const CorePlan& plan, bool is_rep,
     // columns; collect the first in pass 0, the second in pass 1.
     const std::size_t want_col =
         hi == lo ? SIZE_MAX : (pass == 0 ? lo / m : (hi - 1) / m);
-    for (std::size_t t = 0; t < m; ++t) {
+    // This processor's read window within the pass: the in-column slots t
+    // whose rank want_col*m + t falls in [lo, hi). Contiguous by
+    // construction, and empty when want_col is SIZE_MAX.
+    std::size_t t_read0 = m, t_read1 = m;
+    if (want_col != SIZE_MAX) {
+      const std::size_t col_lo = want_col * m;
+      t_read0 = lo > col_lo ? lo - col_lo : 0;
+      t_read1 = hi > col_lo ? std::min(m, hi - col_lo) : 0;
+      if (t_read1 < t_read0) t_read1 = t_read0;
+    }
+    if (!is_rep) {
+      // Non-representatives only read; sleep through the rest of the pass
+      // (observationally identical to idle cycles: no intent either way).
+      if (t_read0 > 0) co_await self.skip(t_read0);
+      for (std::size_t t = t_read0; t < t_read1; ++t) {
+        auto got = co_await self.read(static_cast<ChannelId>(want_col));
+        MCB_CHECK(got.has_value(), "redistribute slot empty (rank "
+                                       << want_col * m + t << ")");
+        output[want_col * m + t - lo] = KV{got->at(0), got->at(1)};
+      }
+      if (t_read1 < m) co_await self.skip(m - t_read1);
+      continue;
+    }
+    if (want_col == my_col) {
+      // Own column: take the segment locally, no channel reads needed.
+      for (std::size_t t = t_read0; t < t_read1; ++t) {
+        output[want_col * m + t - lo] = column[t];
+      }
+      t_read0 = t_read1 = m;
+    }
+    // A representative's action cycles are the write prefix [0, real_here)
+    // plus the (possibly overlapping) read window; sleep through the gap
+    // between them and the idle tail of the pass.
+    std::size_t t = 0;
+    while (t < m) {
+      const bool writing = t < real_here;
+      const bool reading = t >= t_read0 && t < t_read1;
+      if (!writing && !reading) {
+        const std::size_t next_act = t < t_read0 ? t_read0 : m;
+        co_await self.skip(next_act - t);
+        t = next_act;
+        continue;
+      }
       std::optional<WriteOp> write;
       std::optional<ChannelId> read;
-      if (is_rep && t < real_here) {
+      if (writing) {
         write = WriteOp{static_cast<ChannelId>(my_col),
                         Message::of(column[t].key, column[t].val)};
-      }
-      const std::size_t rank =
-          want_col == SIZE_MAX ? n : want_col * m + t;
-      bool reading = rank >= lo && rank < hi;
-      if (reading && is_rep && want_col == my_col) {
-        output[rank - lo] = column[t];  // own column: take locally
-        reading = false;
       }
       if (reading) read = static_cast<ChannelId>(want_col);
       auto got = co_await self.cycle(std::move(write), read);
       if (reading) {
-        MCB_CHECK(got.has_value(),
-                  "redistribute slot empty (rank " << rank << ")");
-        output[rank - lo] = KV{got->at(0), got->at(1)};
+        MCB_CHECK(got.has_value(), "redistribute slot empty (rank "
+                                       << want_col * m + t << ")");
+        output[want_col * m + t - lo] = KV{got->at(0), got->at(1)};
       }
+      ++t;
     }
   }
 }

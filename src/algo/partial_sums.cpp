@@ -32,21 +32,25 @@ std::size_t ceil_log2(std::size_t p) {
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 
-/// Burns exactly `total` cycles, performing at most one channel action at
-/// in-level cycle `at` (ignored when at == SIZE_MAX). `write`/`read` follow
-/// Proc::cycle semantics.
+/// Burns exactly `pending + total` cycles, performing at most one channel
+/// action at in-level cycle `at` (ignored when at == SIZE_MAX). `pending`
+/// carries idle cycles accumulated from earlier all-idle levels, so a
+/// processor that sits out several consecutive tree levels sleeps through
+/// them in a single suspension; on return it holds the idle tail of this
+/// level (zero if the processor acted on the level's last cycle).
 Task<Proc::ReadResult> level_cycles(Proc& self, std::size_t total,
                                     std::size_t at,
                                     std::optional<WriteOp> write,
-                                    std::optional<ChannelId> read) {
+                                    std::optional<ChannelId> read,
+                                    std::size_t& pending) {
   Proc::ReadResult result;
   if (at == SIZE_MAX || at >= total) {
-    if (total > 0) co_await self.skip(total);
+    pending += total;
     co_return result;
   }
-  if (at > 0) co_await self.skip(at);
+  if (pending + at > 0) co_await self.skip(pending + at);
   result = co_await self.cycle(std::move(write), read);
-  if (at + 1 < total) co_await self.skip(total - at - 1);
+  pending = total - at - 1;
   co_return result;
 }
 
@@ -75,6 +79,9 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
   val[0] = a_i;
   self.note_aux(val.size());
 
+  // Idle cycles owed to the schedule but not yet slept; see level_cycles.
+  std::size_t pending = 0;
+
   // --- bottom-up phase ------------------------------------------------------
   for (std::size_t l = 0; l < depth; ++l) {
     const std::size_t pairs = p2 >> (l + 1);  // fathers at level l+1
@@ -99,7 +106,8 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
         read = static_cast<ChannelId>(father % k);
       }
     }
-    auto got = co_await level_cycles(self, cycles, at, std::move(write), read);
+    auto got = co_await level_cycles(self, cycles, at, std::move(write), read,
+                                     pending);
     if (i % (stride * 2) == 0) {
       // Silence = dummy right subtree (p not a power of two) = identity.
       val[l + 1] = got ? op.combine(val[l], got->at(0)) : val[l];
@@ -138,7 +146,8 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
         receiving = true;
       }
     }
-    auto got = co_await level_cycles(self, cycles, at, std::move(write), read);
+    auto got = co_await level_cycles(self, cycles, at, std::move(write), read,
+                                     pending);
     if (receiving) {
       MCB_CHECK(got.has_value(), "top-down message missing at P" << i + 1);
       f = got->at(0);
@@ -150,6 +159,10 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
 
   // --- optional total broadcast --------------------------------------------
   if (opts.with_total) {
+    if (pending > 0) {
+      co_await self.skip(pending);
+      pending = 0;
+    }
     if (i == 0) {
       co_await self.write(0, Message::of(out.total));
     } else {
@@ -161,12 +174,18 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
 
   // --- optional neighbour exchange -------------------------------------
   // P_{i+1} tells P_i its inclusive prefix; O(p/k) cycles, p-1 messages.
+  // Each processor acts in at most two cycles of the exchange and sleeps
+  // through the rest.
   if (opts.with_next) {
+    if (pending > 0) {
+      co_await self.skip(pending);
+      pending = 0;
+    }
     out.next = out.self;  // correct for the last processor
     const std::size_t cycles = ceil_div(p - 1, k);
     const std::size_t send_at = i >= 1 ? (i - 1) / k : SIZE_MAX;
     const std::size_t read_at = i + 1 < p ? i / k : SIZE_MAX;
-    for (std::size_t t = 0; t < cycles; ++t) {
+    for (std::size_t t = 0; t < cycles;) {
       std::optional<WriteOp> write;
       std::optional<ChannelId> read;
       if (t == send_at) {
@@ -177,7 +196,11 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
         read = static_cast<ChannelId>(i % k);
       }
       if (!write && !read) {
-        co_await self.step();
+        std::size_t next = cycles;
+        if (send_at != SIZE_MAX && send_at > t) next = std::min(next, send_at);
+        if (read_at != SIZE_MAX && read_at > t) next = std::min(next, read_at);
+        co_await self.skip(next - t);
+        t = next;
         continue;
       }
       auto got = co_await self.cycle(std::move(write), read);
@@ -185,9 +208,11 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
         MCB_CHECK(got.has_value(), "neighbour prefix missing at P" << i + 1);
         out.next = got->at(0);
       }
+      ++t;
     }
   }
 
+  if (pending > 0) co_await self.skip(pending);
   co_return out;
 }
 

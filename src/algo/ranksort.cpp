@@ -81,8 +81,20 @@ Task<void> ranksort_group(Proc& self, const GroupSpec& grp,
   seq::intro_sort(std::span<std::pair<std::size_t, std::size_t>>(emits));
   self.note_aux(rank.size() + out.size() + emits.size());
 
+  // Action slots are the emit list (sorted by slot) merged with the
+  // contiguous target window; sleep through the gaps between them.
   std::size_t next_emit = 0;
-  for (std::size_t slot = 0; slot < n_grp; ++slot) {
+  for (std::size_t slot = 0; slot < n_grp;) {
+    std::size_t next_act = n_grp;
+    if (next_emit < emits.size()) {
+      next_act = std::min(next_act, emits[next_emit].first);
+    }
+    if (slot < tgt_end) next_act = std::min(next_act, std::max(slot, tgt_start));
+    if (next_act > slot) {
+      co_await self.skip(next_act - slot);
+      slot = next_act;
+      continue;
+    }
     std::size_t e = SIZE_MAX;
     if (next_emit < emits.size() && emits[next_emit].first == slot) {
       e = emits[next_emit].second;
@@ -97,13 +109,12 @@ Task<void> ranksort_group(Proc& self, const GroupSpec& grp,
       } else {
         co_await self.write(grp.channel, Message::of(data[e]));
       }
-    } else if (target_is_me) {
+    } else {
       auto got = co_await self.read(grp.channel);
       MCB_CHECK(got.has_value(), "pass-2 slot " << slot << " silent");
       out[slot - tgt_start] = got->at(0);
-    } else {
-      co_await self.step();
     }
+    ++slot;
   }
   data = std::move(out);
 }

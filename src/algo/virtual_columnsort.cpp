@@ -95,11 +95,7 @@ Task<void> v_transform(Proc& self, const VCtx& ctx, std::size_t t,
 
   // --- intra-column rounds (fixed count across columns, for lockstep) -----
   const auto& moves = ctx.intra[t][j];
-  for (std::size_t round = 0; round < ctx.intra_rounds[t]; ++round) {
-    if (round >= moves.size()) {
-      co_await self.step();
-      continue;
-    }
+  for (std::size_t round = 0; round < moves.size(); ++round) {
     const auto [sr, dr] = moves[round];
     const bool own_src = row_owner(ctx, sr) == idx;
     const bool own_dst = row_owner(ctx, dr) == idx;
@@ -114,6 +110,11 @@ Task<void> v_transform(Proc& self, const VCtx& ctx, std::size_t t,
         next[dr - base] = got->at(0);
       }
     }
+  }
+  // Columns with fewer moves sleep through the padding rounds that keep the
+  // group lockstep.
+  if (ctx.intra_rounds[t] > moves.size()) {
+    co_await self.skip(ctx.intra_rounds[t] - moves.size());
   }
   rows.swap(next);
 }

@@ -1,6 +1,7 @@
 #include "mcb/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "util/check.hpp"
@@ -8,8 +9,9 @@
 namespace mcb {
 
 Network::Network(SimConfig cfg, TraceSink* sink)
-    : cfg_(cfg), sink_(sink) {
+    : cfg_(cfg), sink_(sink), sched_(cfg.p, cfg.k) {
   cfg_.validate();
+  event_mode_ = cfg_.engine == Engine::kEventDriven;
   procs_.reserve(cfg_.p);
   for (std::size_t i = 0; i < cfg_.p; ++i) {
     procs_.push_back(
@@ -34,24 +36,36 @@ void Network::install(ProcId i, ProcMain program) {
               "programs/installed bookkeeping out of sync");
   program.handle().promise().proc = procs_[i].get();
   procs_[i]->resume_point_ = program.handle();
+  procs_[i]->program_ = program.handle();
   installed_[i] = true;
   programs_.push_back(std::move(program));
 }
 
 void Network::resume_proc(Proc& pr) {
+  ++stats_.proc_resumes;
   pr.resume_point_.resume();
   if (pr.done_) {
     --alive_;
-    // Surface any exception that escaped the program, annotated with the
-    // processor it came from.
-    for (auto& prog : programs_) {
-      if (prog.handle() && prog.handle().promise().proc == &pr) {
-        if (auto exc = prog.handle().promise().exception) {
-          std::rethrow_exception(exc);
-        }
-        break;
-      }
+    // Surface any exception that escaped the program. The handle is stored
+    // on the Proc at install time, so this is O(1) per completion.
+    if (auto exc = pr.program_.promise().exception) {
+      std::rethrow_exception(exc);
     }
+  }
+}
+
+void Network::on_cycle_op(Proc& pr) {
+  pr.wake_cycle_ = now_ + 1;
+  if (event_mode_) {
+    sched_.add_active(&pr);
+    sched_.schedule_wake(&pr, pr.id_, pr.wake_cycle_, now_);
+  }
+}
+
+void Network::on_sleep(Proc& pr, Cycle t) {
+  pr.wake_cycle_ = now_ + t;
+  if (event_mode_) {
+    sched_.schedule_wake(&pr, pr.id_, pr.wake_cycle_, now_);
   }
 }
 
@@ -80,6 +94,12 @@ void Network::finish_phase() {
   phase_name_.clear();
 }
 
+void Network::throw_max_cycles() const {
+  throw ProtocolError("run exceeded max_cycles=" +
+                      std::to_string(cfg_.max_cycles) +
+                      " — deadlocked or runaway protocol");
+}
+
 RunStats Network::run() {
   MCB_REQUIRE(!ran_, "Network::run() is single-shot");
   MCB_REQUIRE(std::all_of(installed_.begin(), installed_.end(),
@@ -87,18 +107,133 @@ RunStats Network::run() {
               "every processor needs a program before run()");
   ran_ = true;
 
+  const auto wall_start = std::chrono::steady_clock::now();
+
   // Initial resume: run every program up to its first cycle boundary.
   alive_ = cfg_.p;
   for (auto& pr : procs_) {
     if (!pr->done_) resume_proc(*pr);
   }
 
+  if (event_mode_) {
+    run_event_loop();
+  } else {
+    run_reference_loop();
+  }
+
+  finish_phase();
+  stats_.cycles = now_;
+  stats_.peak_aux_words.resize(cfg_.p);
+  for (std::size_t i = 0; i < cfg_.p; ++i) {
+    stats_.peak_aux_words[i] = procs_[i]->peak_aux_words_;
+  }
+
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+  stats_.sim_wall_ns = static_cast<std::uint64_t>(wall_ns);
+  stats_.cycles_per_sec =
+      wall_ns > 0 ? static_cast<double>(stats_.cycles) * 1e9 /
+                        static_cast<double>(wall_ns)
+                  : 0.0;
+  return stats_;
+}
+
+// The event-driven engine. Observationally identical to the reference loop
+// below (which is the semantics specification); see docs/ENGINE.md for the
+// step-by-step argument. The three O(p) scans become iterations over the
+// scheduler's active list, the O(k) slot sweep becomes an iteration over the
+// dirty-channel list, and stretches of cycles in which no processor is due
+// are skipped in one jump.
+void Network::run_event_loop() {
   while (alive_ > 0) {
-    if (now_ >= cfg_.max_cycles) {
-      throw ProtocolError("run exceeded max_cycles=" +
-                          std::to_string(cfg_.max_cycles) +
-                          " — deadlocked or runaway protocol");
+    MCB_REQUIRE(!sched_.queue_empty(),
+                "live processors but an empty wake queue");
+
+    // Idle-cycle fast-forward: if nobody wakes before cycle `next`, the
+    // cycles in between carry no writes, no reads and no trace events (a
+    // sleeping processor holds no channel intent), so jump straight to the
+    // last idle cycle. Statistics are exact because nothing observable
+    // happens in the skipped span.
+    const Cycle next = sched_.next_wake(now_);
+    if (next > now_ + 1) now_ = next - 1;
+    if (now_ >= cfg_.max_cycles) throw_max_cycles();
+
+    const auto& active = sched_.active();
+
+    // Step 1: writes. Collision check per the model. `active` holds the
+    // processors that suspended with a channel intent, in id order — the
+    // same order the reference scan visits them.
+    for (Proc* pr : active) {
+      if (!pr->pending_write_) continue;
+      auto& slot = slots_[pr->pending_write_->channel];
+      if (slot.written) {
+        throw CollisionError(now_, pr->pending_write_->channel, slot.writer,
+                             pr->id_);
+      }
+      slot.written = true;
+      slot.writer = pr->id_;
+      slot.msg = pr->pending_write_->msg;
+      sched_.mark_dirty(pr->pending_write_->channel);
+      ++stats_.messages;
+      ++stats_.messages_per_proc[pr->id_];
+      ++stats_.messages_per_channel[pr->pending_write_->channel];
     }
+
+    // Step 2: reads (concurrent reads allowed; silence is observable).
+    for (Proc* pr : active) {
+      pr->read_result_.reset();
+      if (pr->pending_read_) {
+        const auto& slot = slots_[*pr->pending_read_];
+        if (slot.written) pr->read_result_ = slot.msg;
+      }
+      if (pr->pending_read_all_) {
+        pr->read_all_results_.assign(cfg_.k, std::nullopt);
+        for (std::size_t c = 0; c < cfg_.k; ++c) {
+          if (slots_[c].written) pr->read_all_results_[c] = slots_[c].msg;
+        }
+      }
+    }
+
+    if (sink_ != nullptr) {
+      for (Proc* pr : active) {
+        if (!pr->pending_write_ && !pr->pending_read_) continue;
+        CycleEvent ev;
+        ev.cycle = now_;
+        ev.proc = pr->id_;
+        if (pr->pending_write_) {
+          ev.wrote = pr->pending_write_->channel;
+          ev.sent = pr->pending_write_->msg;
+        }
+        ev.read = pr->pending_read_;
+        ev.received = pr->read_result_;
+        sink_->on_event(ev);
+      }
+    }
+
+    // Step 3: the cycle completes. Clear only the channels written this
+    // cycle, then resume every processor due at the new time, in processor
+    // order (the drain is id-sorted; processors re-registering while it is
+    // iterated wake strictly later and land in fresh buckets).
+    for (ChannelId c : sched_.dirty()) slots_[c].written = false;
+    sched_.clear_dirty();
+    sched_.clear_active();
+    ++now_;
+    for (Proc* pr : sched_.drain_due(now_)) {
+      pr->pending_write_.reset();
+      pr->pending_read_.reset();
+      pr->pending_read_all_ = false;
+      resume_proc(*pr);
+    }
+  }
+}
+
+// The scan-the-world reference loop — the seed implementation, kept as the
+// executable specification of the cycle semantics and as the baseline that
+// bench_simspeed measures the event engine against.
+void Network::run_reference_loop() {
+  while (alive_ > 0) {
+    if (now_ >= cfg_.max_cycles) throw_max_cycles();
 
     // Step 1: writes. Collision check per the model.
     for (auto& slot : slots_) slot.written = false;
@@ -160,14 +295,6 @@ RunStats Network::run() {
       resume_proc(*pr);
     }
   }
-
-  finish_phase();
-  stats_.cycles = now_;
-  stats_.peak_aux_words.resize(cfg_.p);
-  for (std::size_t i = 0; i < cfg_.p; ++i) {
-    stats_.peak_aux_words[i] = procs_[i]->peak_aux_words_;
-  }
-  return stats_;
 }
 
 }  // namespace mcb

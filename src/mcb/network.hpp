@@ -10,6 +10,21 @@
 //
 // Complexity accounting is exact: `cycles` counts synchronous rounds until
 // every program has completed, `messages` counts channel writes.
+//
+// Two engines implement these semantics (SimConfig::engine):
+//
+//   * kEventDriven (default) — a wake-queue scheduler (mcb/scheduler.hpp).
+//     Suspending processors register their wake cycle and channel intents;
+//     each cycle touches only the participating processors and the written
+//     channels, and runs of cycles in which nothing observable happens are
+//     fast-forwarded in O(1). Simulation cost is O(events), not O(p·cycles).
+//
+//   * kReference — the original scan-the-world loop: three O(p) passes and
+//     an O(k) slot sweep per cycle. It is the executable specification the
+//     event engine is tested against (tests/scheduler_equivalence_test.cpp
+//     asserts bit-identical statistics).
+//
+// See docs/ENGINE.md for the equivalence argument.
 #pragma once
 
 #include <memory>
@@ -19,6 +34,7 @@
 #include "mcb/coro.hpp"
 #include "mcb/errors.hpp"
 #include "mcb/proc.hpp"
+#include "mcb/scheduler.hpp"
 #include "mcb/sim_config.hpp"
 #include "mcb/stats.hpp"
 #include "mcb/trace.hpp"
@@ -59,8 +75,18 @@ class Network {
   friend class Proc;
   friend struct Proc::CycleAwaiter;
   friend struct Proc::SkipAwaiter;
+  friend struct Proc::MultiReadAwaiter;
+
+  // Suspension hooks called by the Proc awaiters. on_cycle_op: `pr` holds a
+  // channel intent for the cycle in flight and wakes next cycle. on_sleep:
+  // `pr` sleeps for t cycles with no channel activity.
+  void on_cycle_op(Proc& pr);
+  void on_sleep(Proc& pr, Cycle t);
 
   void resume_proc(Proc& pr);
+  void run_event_loop();
+  void run_reference_loop();
+  [[noreturn]] void throw_max_cycles() const;
   void finish_phase();
 
   SimConfig cfg_;
@@ -76,6 +102,9 @@ class Network {
     Message msg;
   };
   std::vector<Slot> slots_;
+
+  Scheduler sched_;
+  bool event_mode_ = true;
 
   Cycle now_ = 0;
   std::size_t alive_ = 0;

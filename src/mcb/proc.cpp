@@ -63,7 +63,7 @@ void Proc::mark_phase(std::string name) { net_->mark_phase(std::move(name)); }
 
 void Proc::CycleAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   proc.resume_point_ = h;
-  proc.wake_cycle_ = proc.net_->now() + 1;
+  proc.net_->on_cycle_op(proc);
 }
 
 Proc::ReadResult Proc::CycleAwaiter::await_resume() const noexcept {
@@ -75,13 +75,13 @@ void Proc::SkipAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   proc.pending_read_.reset();
   proc.pending_read_all_ = false;
   proc.resume_point_ = h;
-  proc.wake_cycle_ = proc.net_->now() + t;
+  proc.net_->on_sleep(proc, t);
 }
 
 void Proc::MultiReadAwaiter::await_suspend(
     std::coroutine_handle<> h) noexcept {
   proc.resume_point_ = h;
-  proc.wake_cycle_ = proc.net_->now() + 1;
+  proc.net_->on_cycle_op(proc);
 }
 
 std::vector<Proc::ReadResult> Proc::MultiReadAwaiter::await_resume()

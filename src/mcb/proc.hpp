@@ -110,6 +110,8 @@ class Proc {
 
   // Scheduling state owned by the Network.
   std::coroutine_handle<> resume_point_;  ///< innermost suspended coroutine
+  ProcMain::handle_type program_;  ///< this processor's top-level program,
+                                   ///< for O(1) exception retrieval on exit
   bool done_ = false;
   Cycle wake_cycle_ = 0;
 

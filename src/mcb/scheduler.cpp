@@ -1,0 +1,44 @@
+#include "mcb/scheduler.hpp"
+
+#include <algorithm>
+
+namespace mcb {
+
+Scheduler::Scheduler(std::size_t p, std::size_t k) {
+  next_bucket_.reserve(p);
+  drain_entries_.reserve(p);
+  drained_.reserve(p);
+  active_.reserve(p);
+  dirty_.reserve(k);
+}
+
+void Scheduler::schedule_wake(Proc* pr, ProcId id, Cycle wake, Cycle now) {
+  if (wake == now + 1) {
+    next_bucket_.push_back(Entry{id, pr});
+  } else {
+    far_[wake].push_back(Entry{id, pr});
+  }
+}
+
+const std::vector<Proc*>& Scheduler::drain_due(Cycle now) {
+  drain_entries_.clear();
+  std::swap(drain_entries_, next_bucket_);
+
+  // Merge in a far bucket that has come due. Far entries arrive in
+  // registration order, not id order, so the combined drain is re-sorted to
+  // match the reference engine's processor-order resumption.
+  const auto it = far_.begin();
+  if (it != far_.end() && it->first <= now) {
+    drain_entries_.insert(drain_entries_.end(), it->second.begin(),
+                          it->second.end());
+    far_.erase(it);
+    std::sort(drain_entries_.begin(), drain_entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  }
+
+  drained_.clear();
+  for (const Entry& e : drain_entries_) drained_.push_back(e.proc);
+  return drained_;
+}
+
+}  // namespace mcb

@@ -1,0 +1,103 @@
+// Event queue for the event-driven simulation engine.
+//
+// The paper's protocols synchronize by counting cycles: at any instant many
+// processors are asleep in Proc::skip() waiting for their turn, and the
+// rest re-awaken every cycle via channel operations. The scan-the-world
+// reference loop pays O(p) per cycle regardless; this scheduler makes each
+// suspension cost O(1) amortized and lets the network iterate only over the
+// processors that actually participate in the cycle in flight.
+//
+// The wake queue is a two-tier bucket queue keyed on the wake cycle:
+//
+//   * next bucket — processors waking exactly one cycle ahead (every channel
+//     op, and skip(1)). This is the hot path: pushes happen in processor-id
+//     order during the drain of the previous cycle, so the bucket is always
+//     id-sorted by construction and push/pop are O(1). A binary heap here
+//     measurably dominates simulation time (an O(log p) sift per resume,
+//     tens of millions of times per run).
+//   * far buckets  — processors sleeping more than one cycle, grouped by
+//     wake cycle in an ordered map. Skips are rarer than channel ops, and
+//     each sleeping processor costs O(log #distinct-wake-cycles) once, not
+//     O(sleep length). A far bucket merging into a drain is sorted by id
+//     then, restoring the reference engine's deterministic resume order.
+//
+// Two more lists let the run loop touch only what changed:
+//
+//   * active list — processors that suspended with a channel intent
+//     (write / read / multi-read) for the cycle in flight. The write, read
+//     and trace steps iterate this list only.
+//   * dirty list  — channels written in the cycle in flight, so clearing
+//     slots is O(writes), not O(k).
+//
+// Invariants (see docs/ENGINE.md): every live suspended processor sits in
+// exactly one bucket; the active list holds exactly the processors whose
+// wake cycle is now+1 *and* that registered a channel intent; a cycle whose
+// drain would be empty is observationally silent and may be skipped
+// wholesale (idle-cycle fast-forward).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "mcb/types.hpp"
+
+namespace mcb {
+
+class Proc;
+
+class Scheduler {
+ public:
+  Scheduler(std::size_t p, std::size_t k);
+
+  // --- wake queue ---------------------------------------------------------
+
+  /// Registers `pr` (suspended at cycle `now`) to be resumed at `wake`,
+  /// with wake >= now + 1. A processor is scheduled at most once at a time
+  /// (it is suspended at a single awaiter).
+  void schedule_wake(Proc* pr, ProcId id, Cycle wake, Cycle now);
+
+  bool queue_empty() const { return next_bucket_.empty() && far_.empty(); }
+
+  /// Earliest pending wake cycle given the current cycle `now`. Requires a
+  /// non-empty queue.
+  Cycle next_wake(Cycle now) const {
+    return next_bucket_.empty() ? far_.begin()->first : now + 1;
+  }
+
+  /// Collects every processor due at `now` in processor-id order. The
+  /// returned list is valid until the next drain; processors re-scheduling
+  /// themselves while the caller iterates it land in fresh buckets and are
+  /// never part of the same drain.
+  const std::vector<Proc*>& drain_due(Cycle now);
+
+  // --- active list (participants of the cycle in flight) ------------------
+
+  void add_active(Proc* pr) { active_.push_back(pr); }
+  const std::vector<Proc*>& active() const { return active_; }
+  void clear_active() { active_.clear(); }
+
+  // --- dirty channels -----------------------------------------------------
+
+  /// Records that channel `c` was written this cycle. The collision check
+  /// guarantees at most one write per channel per cycle, so entries are
+  /// unique without deduplication.
+  void mark_dirty(ChannelId c) { dirty_.push_back(c); }
+  const std::vector<ChannelId>& dirty() const { return dirty_; }
+  void clear_dirty() { dirty_.clear(); }
+
+ private:
+  struct Entry {
+    ProcId id;
+    Proc* proc;
+  };
+
+  std::vector<Entry> next_bucket_;        ///< wakes at (drain cycle)+1
+  std::map<Cycle, std::vector<Entry>> far_;  ///< wakes further out
+  std::vector<Entry> drain_entries_;      ///< scratch, swapped with next
+  std::vector<Proc*> drained_;            ///< what drain_due returns
+  std::vector<Proc*> active_;
+  std::vector<ChannelId> dirty_;
+};
+
+}  // namespace mcb

@@ -7,6 +7,21 @@
 
 namespace mcb {
 
+/// Which simulation engine drives Network::run(). Both implement the exact
+/// same synchronous-cycle semantics and produce bit-identical statistics
+/// (cycles, messages, phases — see docs/ENGINE.md); they differ only in
+/// wall-clock cost.
+enum class Engine {
+  /// Wake-queue scheduler: sleeping processors cost O(log p) total instead
+  /// of O(sleep length), per-cycle work scales with the processors actually
+  /// participating, and runs of idle cycles are fast-forwarded. The default.
+  kEventDriven,
+  /// The original scan-the-world loop: O(p) scans plus an O(k) slot sweep
+  /// every cycle. Kept as the executable semantics specification and as the
+  /// baseline for bench_simspeed.
+  kReference,
+};
+
 /// Static description of an MCB(p, k): p processors and k broadcast
 /// channels, with k <= p (Section 2 of the paper).
 struct SimConfig {
@@ -22,6 +37,9 @@ struct SimConfig {
   /// permits one read per cycle, and the paper's algorithms never need
   /// more; the flag exists to study the extension.
   bool multi_read = false;
+
+  /// Simulation engine (identical observable behaviour either way).
+  Engine engine = Engine::kEventDriven;
 
   void validate() const {
     MCB_REQUIRE(p >= 1, "need at least one processor");

@@ -15,6 +15,10 @@ std::string RunStats::summary() const {
   std::ostringstream os;
   os << "cycles=" << cycles << " messages=" << messages
      << " peak_aux_words=" << max_peak_aux() << '\n';
+  if (sim_wall_ns > 0) {
+    os << "  sim_wall_ns=" << sim_wall_ns << " proc_resumes=" << proc_resumes
+       << " cycles_per_sec=" << cycles_per_sec << '\n';
+  }
   for (const auto& ph : phases) {
     os << "  phase " << ph.name << ": cycles=" << ph.cycles
        << " messages=" << ph.messages << '\n';

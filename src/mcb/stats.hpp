@@ -28,6 +28,12 @@ struct RunStats {
   std::vector<std::size_t> peak_aux_words;  ///< per-proc max noted storage
   std::vector<PhaseStats> phases;
 
+  // Simulator telemetry (host-side; not part of the model's accounting and
+  // excluded from engine-equivalence comparisons).
+  std::uint64_t sim_wall_ns = 0;   ///< wall-clock spent inside Network::run()
+  std::uint64_t proc_resumes = 0;  ///< coroutine resumptions performed
+  double cycles_per_sec = 0.0;     ///< simulated cycles per host second
+
   /// Largest per-processor auxiliary storage over the whole run.
   std::size_t max_peak_aux() const {
     std::size_t m = 0;

@@ -1,0 +1,68 @@
+// Unit tests for the bench harness guard helpers (bench/bench_common.hpp).
+// The sorted-output guard aborts benches on wrong results; a broken guard
+// would either kill valid benchmarks or wave bad schedules through, so its
+// predicate is tested here against the library's actual output contract
+// (descending — see algo/sort.hpp) and the historical failure modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "../bench/bench_common.hpp"
+#include "algo/sort.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::bench {
+namespace {
+
+TEST(BenchCommonTest, AcceptsDescendingOutput) {
+  EXPECT_TRUE(is_sorted_output({{9, 7}, {7, 3}, {2}}));
+  EXPECT_TRUE(is_sorted_output({{5, 4, 3}, {2, 1, 0}}));
+}
+
+TEST(BenchCommonTest, AcceptsAscendingOutput) {
+  // Both orders are handled explicitly; a future ascending-order algorithm
+  // must not be killed by the guard.
+  EXPECT_TRUE(is_sorted_output({{1, 2}, {3, 4}, {5}}));
+}
+
+TEST(BenchCommonTest, RejectsUnsortedOutput) {
+  EXPECT_FALSE(is_sorted_output({{3, 1}, {2}}));       // down then up
+  EXPECT_FALSE(is_sorted_output({{1, 5}, {4}}));       // up then down
+  EXPECT_FALSE(is_sorted_output({{9, 7}, {8, 3}}));    // cross-processor
+}
+
+TEST(BenchCommonTest, EmptyListsAreHandled) {
+  // The seed guard initialized its comparison with a sentinel 0 when the
+  // first processor's list was empty, spuriously rejecting any positive
+  // descending output that followed. Comparison must start at the first
+  // element actually present.
+  EXPECT_TRUE(is_sorted_output({{}, {9, 7}, {3}}));
+  EXPECT_TRUE(is_sorted_output({{9, 7}, {}, {3}}));
+  EXPECT_TRUE(is_sorted_output({}));
+  EXPECT_TRUE(is_sorted_output({{}, {}}));
+  EXPECT_TRUE(is_sorted_output({{42}}));
+  EXPECT_FALSE(is_sorted_output({{}, {3, 9}, {}, {7}}));
+}
+
+TEST(BenchCommonTest, EqualRunsAreSortedEitherWay) {
+  EXPECT_TRUE(is_sorted_output({{4, 4}, {4}}));
+}
+
+TEST(BenchCommonTest, NegativeValuesAreCompared) {
+  EXPECT_TRUE(is_sorted_output({{-1, -2}, {-3}}));
+  EXPECT_FALSE(is_sorted_output({{-3, -1}, {-2}}));
+}
+
+TEST(BenchCommonTest, AcceptsTheLibrarysActualSortOutput) {
+  // End-to-end agreement with the real output contract: the guard must
+  // accept what algo::sort produces and reject the raw (shuffled) input.
+  auto w = util::make_workload(128, 8, util::Shape::kEven, 3);
+  auto res = algo::sort({.p = 8, .k = 4}, w.inputs);
+  EXPECT_TRUE(is_sorted_output(res.run.outputs));
+  EXPECT_FALSE(is_sorted_output(w.inputs));  // shuffled permutation
+}
+
+}  // namespace
+}  // namespace mcb::bench

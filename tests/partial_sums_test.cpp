@@ -81,8 +81,13 @@ INSTANTIATE_TEST_SUITE_P(
         {8, 8}, {13, 4}, {16, 4}, {31, 8}, {32, 8}, {33, 8}, {64, 1},
         {64, 16}, {100, 10}, {128, 32}}),
     [](const auto& pinfo) {
-      return "p" + std::to_string(pinfo.param.first) + "_k" +
-             std::to_string(pinfo.param.second);
+      // Built by append: operator+ chains over std::to_string temporaries
+      // trip GCC 12's -Wrestrict false positive (PR105329) at -O3.
+      std::string name = "p";
+      name += std::to_string(pinfo.param.first);
+      name += "_k";
+      name += std::to_string(pinfo.param.second);
+      return name;
     });
 
 TEST(PartialSumsTest, MaxOperator) {

@@ -72,10 +72,16 @@ INSTANTIATE_TEST_SUITE_P(
         {16, 8, 2, LocalSort::kRankSort},    // fewer-columns fallback
     }),
     [](const auto& pinfo) {
-      return "p" + std::to_string(pinfo.param.p) + "_k" +
-             std::to_string(pinfo.param.k) + "_ni" +
-             std::to_string(pinfo.param.ni) +
-             (pinfo.param.ls == LocalSort::kRankSort ? "_rank" : "_merge");
+      // Built by append: operator+ chains over std::to_string temporaries
+      // trip GCC 12's -Wrestrict false positive (PR105329) at -O3.
+      std::string name = "p";
+      name += std::to_string(pinfo.param.p);
+      name += "_k";
+      name += std::to_string(pinfo.param.k);
+      name += "_ni";
+      name += std::to_string(pinfo.param.ni);
+      name += pinfo.param.ls == LocalSort::kRankSort ? "_rank" : "_merge";
+      return name;
     });
 
 TEST(VirtualColumnsortTest, MemoryStaysNearSliceSize) {

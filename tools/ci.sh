@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI driver: builds the optimised and sanitizer configurations and runs the
+# full test suite under both. The coroutine scheduler (src/mcb/scheduler.*,
+# Network::run_event_loop) is pointer-heavy and lifetime-sensitive, so every
+# change is exercised under ASan+UBSan, not just the optimised build.
+#
+# Usage: tools/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_preset() {
+  local preset="$1"
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset"
+}
+
+run_preset release
+run_preset asan-ubsan
+
+echo "CI OK: release + asan-ubsan suites passed"
