@@ -12,49 +12,68 @@ namespace {
 
 using namespace mcb;
 
+// E13/E13b run their tuple-list grids through the sweep harness
+// (Sweep::explicit_points — these grids are not cartesian products). One
+// seed per point, so trial order == point order; per-trial sim_wall_ns
+// telemetry feeds the throughput columns, and every trial self-verifies
+// (descending permutation / true median) inside the harness. The pool also
+// overlaps the points, which is most of this binary's wall-clock at the
+// largest configurations.
 void scaling_table() {
-  bench::section("E13: simulator throughput (columnsort-even)");
-  util::Table t;
-  t.header({"p", "k", "n", "cycles", "messages", "wall ms",
-            "sim cycles/s", "msgs/s"});
+  bench::section("E13: simulator throughput (columnsort-even, via sweep "
+                 "harness)");
+  harness::Sweep sweep;
   for (auto [p, k, n] : std::vector<std::array<std::size_t, 3>>{
            {16, 4, 16384},
            {64, 8, 131072},
            {128, 16, 262144},
            {256, 16, 524288},
        }) {
-    auto w = util::make_workload(n, p, util::Shape::kEven, 1);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto res = algo::columnsort_even({.p = p, .k = k}, w.inputs);
-    const auto dt = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-    bench::check_sorted(res.run.outputs);
-    t.row({util::Table::num(p), util::Table::num(k), util::Table::num(n),
-           util::Table::num(res.run.stats.cycles),
-           util::Table::num(res.run.stats.messages),
-           util::Table::num(dt, 1),
-           util::Table::num(double(res.run.stats.cycles) / dt * 1000.0, 0),
-           util::Table::num(double(res.run.stats.messages) / dt * 1000.0,
-                            0)});
+    sweep.explicit_points.push_back(
+        {.p = p, .k = k, .n = n, .shape = util::Shape::kEven,
+         .algorithm = "columnsort"});
+  }
+  sweep.seeds = 1;
+  auto run = harness::run_sweep(sweep);
+  bench::check_sweep_ok(run);
+
+  util::Table t;
+  t.header({"p", "k", "n", "cycles", "messages", "wall ms",
+            "sim cycles/s", "msgs/s"});
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const auto& pt = run.specs[i].point;
+    const auto& r = run.results[i];
+    const double ms = double(r.sim_wall_ns) / 1e6;
+    t.row({util::Table::num(pt.p), util::Table::num(pt.k),
+           util::Table::num(pt.n), util::Table::num(r.cycles),
+           util::Table::num(r.messages), util::Table::num(ms, 1),
+           util::Table::num(double(r.cycles) / ms * 1000.0, 0),
+           util::Table::num(double(r.messages) / ms * 1000.0, 0)});
   }
   std::cout << t;
+  std::cout << run.results.size() << " trials on " << run.threads_used
+            << " threads in " << double(run.wall_ns) / 1e6 << " ms\n";
 }
 
 void selection_scaling_table() {
-  bench::section("E13b: selection at scale (p=256, k=16)");
-  util::Table t;
-  t.header({"n", "phases", "cycles", "messages", "wall ms"});
+  bench::section("E13b: selection at scale (p=256, k=16, via sweep harness)");
+  harness::Sweep sweep;
   for (std::size_t n : {65536u, 262144u, 1048576u}) {
-    auto w = util::make_workload(n, 256, util::Shape::kEven, 2);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto res = algo::select_median({.p = 256, .k = 16}, w.inputs);
-    const auto dt = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-    t.row({util::Table::num(n), util::Table::num(res.filter_phases),
-           util::Table::num(res.stats.cycles),
-           util::Table::num(res.stats.messages), util::Table::num(dt, 1)});
+    sweep.explicit_points.push_back(
+        {.p = 256, .k = 16, .n = n, .shape = util::Shape::kEven,
+         .algorithm = "select"});
+  }
+  sweep.seeds = 1;
+  auto run = harness::run_sweep(sweep);
+  bench::check_sweep_ok(run);
+
+  util::Table t;
+  t.header({"n", "cycles", "messages", "wall ms"});
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const auto& r = run.results[i];
+    t.row({util::Table::num(run.specs[i].point.n), util::Table::num(r.cycles),
+           util::Table::num(r.messages),
+           util::Table::num(double(r.sim_wall_ns) / 1e6, 1)});
   }
   std::cout << t;
 }

@@ -14,44 +14,62 @@ namespace {
 
 using namespace mcb;
 
-void sweep_n() {
-  bench::section("E7a: sweep n at p=32, k=4 (median)");
+// E7a/E7b run through the parallel sweep harness: each point is repeated
+// over 3 seeds, every trial self-verifies its answer against the true
+// median, and the tables report cross-seed means with min..max spans next
+// to the Theta-term ratios. The harness computes the same
+// selection_cycles_term / selection_messages_term predictions internally.
+void print_selection_aggregates(const harness::SweepRun& run,
+                                const char* axis,
+                                std::size_t harness::GridPoint::* field) {
   util::Table t;
-  t.header({"n", "phases", "cycles", "(p/k)log(kn/p)", "cyc ratio",
-            "messages", "p*log(kn/p)", "msg ratio"});
-  const std::size_t p = 32, k = 4;
-  for (std::size_t n : {1024u, 4096u, 16384u, 65536u, 262144u}) {
-    auto w = util::make_workload(n, p, util::Shape::kEven, 1);
-    auto res = algo::select_median({.p = p, .k = k}, w.inputs);
-    const double mc = theory::selection_cycles_term(p, k, n);
-    const double mm = theory::selection_messages_term(p, k, n);
-    t.row({util::Table::num(n), util::Table::num(res.filter_phases),
-           util::Table::num(res.stats.cycles), util::Table::num(mc, 0),
-           bench::ratio(double(res.stats.cycles), mc),
-           util::Table::num(res.stats.messages), util::Table::num(mm, 0),
-           bench::ratio(double(res.stats.messages), mm)});
+  t.header({axis, "cyc mean", "cyc span", "cyc/pred", "msg mean", "msg span",
+            "msg/pred"});
+  for (const auto& agg : run.aggregates) {
+    t.row({util::Table::num(agg.point.*field),
+           util::Table::num(agg.cycles.mean, 1),
+           util::Table::txt(std::to_string(std::size_t(agg.cycles.min)) +
+                            ".." + std::to_string(std::size_t(agg.cycles.max))),
+           util::Table::num(agg.cycles_vs_predicted, 2),
+           util::Table::num(agg.messages.mean, 1),
+           util::Table::txt(std::to_string(std::size_t(agg.messages.min)) +
+                            ".." +
+                            std::to_string(std::size_t(agg.messages.max))),
+           util::Table::num(agg.messages_vs_predicted, 2)});
   }
   std::cout << t;
+  std::cout << run.results.size() << " trials on " << run.threads_used
+            << " threads in " << double(run.wall_ns) / 1e6 << " ms\n";
+}
+
+void sweep_n() {
+  bench::section(
+      "E7a: sweep n at p=32, k=4 (median), 3 seeds via sweep harness");
+  harness::Sweep sweep;
+  sweep.ps = {32};
+  sweep.ks = {4};
+  sweep.ns = {1024, 4096, 16384, 65536, 262144};
+  sweep.shapes = {util::Shape::kEven};
+  sweep.algorithms = {"select"};
+  sweep.seeds = 3;
+  auto run = harness::run_sweep(sweep);
+  bench::check_sweep_ok(run);
+  print_selection_aggregates(run, "n", &harness::GridPoint::n);
 }
 
 void sweep_p() {
-  bench::section("E7b: sweep p at k=4, n=65536 (median)");
-  util::Table t;
-  t.header({"p", "phases", "cycles", "(p/k)log(kn/p)", "cyc ratio",
-            "messages", "p*log(kn/p)", "msg ratio"});
-  const std::size_t k = 4, n = 65536;
-  for (std::size_t p : {8u, 16u, 32u, 64u, 128u, 256u}) {
-    auto w = util::make_workload(n, p, util::Shape::kEven, 2);
-    auto res = algo::select_median({.p = p, .k = k}, w.inputs);
-    const double mc = theory::selection_cycles_term(p, k, n);
-    const double mm = theory::selection_messages_term(p, k, n);
-    t.row({util::Table::num(p), util::Table::num(res.filter_phases),
-           util::Table::num(res.stats.cycles), util::Table::num(mc, 0),
-           bench::ratio(double(res.stats.cycles), mc),
-           util::Table::num(res.stats.messages), util::Table::num(mm, 0),
-           bench::ratio(double(res.stats.messages), mm)});
-  }
-  std::cout << t;
+  bench::section(
+      "E7b: sweep p at k=4, n=65536 (median), 3 seeds via sweep harness");
+  harness::Sweep sweep;
+  sweep.ps = {8, 16, 32, 64, 128, 256};
+  sweep.ks = {4};
+  sweep.ns = {65536};
+  sweep.shapes = {util::Shape::kEven};
+  sweep.algorithms = {"select"};
+  sweep.seeds = 3;
+  auto run = harness::run_sweep(sweep);
+  bench::check_sweep_ok(run);
+  print_selection_aggregates(run, "p", &harness::GridPoint::p);
 }
 
 void sweep_rank() {

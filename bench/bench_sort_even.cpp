@@ -12,23 +12,43 @@ namespace {
 using namespace mcb;
 
 void sweep_n() {
-  bench::section("E2a: sweep n at p=64, k=8 (expect flat ratios)");
-  util::Table t;
-  t.header({"n", "cycles", "n/k", "cyc/(n/k)", "messages", "n", "msg/n",
-            "columns"});
+  // The n-axis grid runs through the parallel sweep harness: 3 seeds per
+  // point, every trial self-verified (descending permutation of its input),
+  // cross-seed min/mean/max reported. The Theta claims must hold at every
+  // seed, so flat mean ratios with tight min..max spans are the pass
+  // criterion.
+  bench::section(
+      "E2a: sweep n at p=64, k=8, 3 seeds via sweep harness (expect flat "
+      "ratios)");
   const std::size_t p = 64, k = 8;
-  for (std::size_t n : {4096u, 8192u, 16384u, 32768u, 65536u, 131072u}) {
-    auto w = util::make_workload(n, p, util::Shape::kEven, 1);
-    auto res = algo::columnsort_even({.p = p, .k = k}, w.inputs);
-    bench::check_sorted(res.run.outputs);
-    t.row({util::Table::num(n), util::Table::num(res.run.stats.cycles),
-           util::Table::num(n / k),
-           bench::ratio(double(res.run.stats.cycles), double(n) / double(k)),
-           util::Table::num(res.run.stats.messages), util::Table::num(n),
-           bench::ratio(double(res.run.stats.messages), double(n)),
-           util::Table::num(res.columns)});
+  harness::Sweep sweep;
+  sweep.ps = {p};
+  sweep.ks = {k};
+  sweep.ns = {4096, 8192, 16384, 32768, 65536, 131072};
+  sweep.shapes = {util::Shape::kEven};
+  sweep.algorithms = {"columnsort"};
+  sweep.seeds = 3;
+  auto run = harness::run_sweep(sweep);
+  bench::check_sweep_ok(run);
+
+  util::Table t;
+  t.header({"n", "cyc mean", "cyc span", "cyc/(n/k)", "msg mean", "msg span",
+            "msg/n"});
+  for (const auto& agg : run.aggregates) {
+    const auto n = agg.point.n;
+    t.row({util::Table::num(n), util::Table::num(agg.cycles.mean, 1),
+           util::Table::txt(std::to_string(std::size_t(agg.cycles.min)) +
+                            ".." + std::to_string(std::size_t(agg.cycles.max))),
+           bench::ratio(agg.cycles.mean, double(n) / double(k)),
+           util::Table::num(agg.messages.mean, 1),
+           util::Table::txt(std::to_string(std::size_t(agg.messages.min)) +
+                            ".." +
+                            std::to_string(std::size_t(agg.messages.max))),
+           bench::ratio(agg.messages.mean, double(n))});
   }
   std::cout << t;
+  std::cout << run.results.size() << " trials on " << run.threads_used
+            << " threads in " << double(run.wall_ns) / 1e6 << " ms\n";
 }
 
 void sweep_k() {
@@ -40,7 +60,7 @@ void sweep_k() {
   for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     auto w = util::make_workload(n, p, util::Shape::kEven, 2);
     auto res = algo::columnsort_even({.p = p, .k = k}, w.inputs);
-    bench::check_sorted(res.run.outputs);
+    bench::check_sorted(res.run.outputs, w.inputs);
     t.row({util::Table::num(k), util::Table::num(res.columns),
            util::Table::num(res.run.stats.cycles),
            util::Table::num(n / res.columns),

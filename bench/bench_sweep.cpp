@@ -1,0 +1,132 @@
+// Harness scaling benchmark: serial-vs-parallel wall-clock of the trial
+// sweep subsystem itself (src/harness) on a fixed grid, plus the
+// determinism cross-check the harness promises — per-trial accounting and
+// the serialized sweep JSON must be identical regardless of thread count.
+//
+// Output: a human-readable summary and a machine-readable BENCH_sweep.json
+// (path overridable as argv[1]) recording hardware_threads, the two
+// wall-clocks, the speedup and whether accounting matched. The >= 3x
+// speedup gate is only enforced on machines with >= 4 hardware threads —
+// below that the pool cannot physically deliver it — but the determinism
+// checks are enforced everywhere and fail the binary on any mismatch.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mcb;
+
+harness::Sweep fixed_grid() {
+  harness::Sweep sweep;
+  sweep.explicit_points = {
+      {.p = 64, .k = 8, .n = 16384, .shape = util::Shape::kEven,
+       .algorithm = "columnsort"},
+      {.p = 128, .k = 16, .n = 32768, .shape = util::Shape::kEven,
+       .algorithm = "columnsort"},
+      {.p = 256, .k = 8, .n = 16384, .shape = util::Shape::kEven,
+       .algorithm = "select"},
+      {.p = 1024, .k = 16, .n = 16384, .shape = util::Shape::kEven,
+       .algorithm = "select"},
+  };
+  sweep.base_seed = 7;
+  sweep.seeds = 4;
+  return sweep;
+}
+
+bool identical_accounting(const harness::SweepRun& a,
+                          const harness::SweepRun& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const auto& ra = a.results[i];
+    const auto& rb = b.results[i];
+    if (ra.cycles != rb.cycles || ra.messages != rb.messages ||
+        ra.peak_aux_words != rb.peak_aux_words ||
+        ra.proc_resumes != rb.proc_resumes || ra.error != rb.error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t parallel_threads = hw > 0 ? hw : 1;
+  const auto sweep = fixed_grid();
+
+  bench::section("harness sweep: serial vs parallel on the fixed grid");
+  std::cout << sweep.trials() << " trials ("
+            << sweep.explicit_points.size() << " points x " << sweep.seeds
+            << " seeds), hardware_concurrency=" << hw << "\n";
+
+  auto serial = harness::run_sweep(sweep, {.threads = 1});
+  bench::check_sweep_ok(serial);
+  auto parallel = harness::run_sweep(sweep, {.threads = parallel_threads});
+  bench::check_sweep_ok(parallel);
+
+  const bool accounting_ok = identical_accounting(serial, parallel);
+  const bool json_ok =
+      harness::sweep_json(serial) == harness::sweep_json(parallel);
+  const double speedup =
+      parallel.wall_ns > 0
+          ? double(serial.wall_ns) / double(parallel.wall_ns)
+          : 0.0;
+  const bool gate_enforced = hw >= 4;
+  const double required_speedup = 3.0;
+  const bool gate_passed = !gate_enforced || speedup >= required_speedup;
+
+  std::cout << "serial   (1 thread):  " << double(serial.wall_ns) / 1e6
+            << " ms\n"
+            << "parallel (" << parallel.threads_used
+            << " threads): " << double(parallel.wall_ns) / 1e6 << " ms\n"
+            << "speedup: " << speedup << "x (gate: >= " << required_speedup
+            << "x, " << (gate_enforced ? "enforced" : "not enforced: < 4 hw threads")
+            << ")\n"
+            << "per-trial accounting identical: "
+            << (accounting_ok ? "yes" : "NO") << "\n"
+            << "sweep JSON byte-identical:      " << (json_ok ? "yes" : "NO")
+            << "\n";
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "cannot open " << json_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"benchmark\": \"sweep\",\n"
+      << "  \"trials\": " << serial.results.size() << ",\n"
+      << "  \"hardware_threads\": " << hw << ",\n"
+      << "  \"serial_wall_ns\": " << serial.wall_ns << ",\n"
+      << "  \"parallel_wall_ns\": " << parallel.wall_ns << ",\n"
+      << "  \"parallel_threads\": " << parallel.threads_used << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"identical_accounting\": " << (accounting_ok ? "true" : "false")
+      << ",\n"
+      << "  \"identical_json\": " << (json_ok ? "true" : "false") << ",\n"
+      << "  \"gate\": {\"required_speedup\": " << required_speedup
+      << ", \"enforced\": " << (gate_enforced ? "true" : "false")
+      << ", \"passed\": " << (gate_passed ? "true" : "false") << "}\n"
+      << "}\n";
+  out.close();
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!accounting_ok || !json_ok) {
+    std::cerr << "BENCH FAILURE: thread count changed sweep results\n";
+    return 1;
+  }
+  if (!gate_passed) {
+    std::cerr << "BENCH FAILURE: parallel speedup " << speedup << "x < "
+              << required_speedup << "x on " << hw << " hardware threads\n";
+    return 1;
+  }
+  return 0;
+}

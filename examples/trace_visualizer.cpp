@@ -1,8 +1,9 @@
 // Cycle-by-cycle visualization of a tiny Columnsort run — the executable
 // version of the paper's Figure 1. A 4-processor, 4-channel network sorts
 // 48 elements (columns of length 12 = k(k-1), the minimum valid length);
-// the program prints the matrix between phases and then the first cycles of
-// raw channel traffic.
+// the program prints the matrix between phases, then the first cycles of
+// raw channel traffic, and closes with the per-channel utilization footer
+// (writes per channel over the traced span).
 //
 //   $ ./trace_visualizer
 #include <iostream>
@@ -71,7 +72,8 @@ int main() {
                                    &trace);
   std::cout << "distributed run: " << res.run.stats.cycles << " cycles, "
             << res.run.stats.messages << " messages over " << k
-            << " channels\n\nfirst cycles of channel traffic:\n"
+            << " channels\n\nfirst cycles of channel traffic (with "
+               "per-channel utilization):\n"
             << trace.render(k);
   return 0;
 }

@@ -25,6 +25,21 @@ const char* to_string(SortAlgorithm a) {
   return "?";
 }
 
+SortAlgorithm sort_algorithm_from_string(const std::string& name) {
+  if (name == "auto") return SortAlgorithm::kAuto;
+  if (name == "columnsort") return SortAlgorithm::kColumnsortEven;
+  if (name == "virtual") return SortAlgorithm::kVirtualColumnsort;
+  if (name == "recursive") return SortAlgorithm::kRecursive;
+  if (name == "uneven") return SortAlgorithm::kUnevenColumnsort;
+  if (name == "ranksort") return SortAlgorithm::kRankSort;
+  if (name == "mergesort") return SortAlgorithm::kMergeSort;
+  if (name == "central") return SortAlgorithm::kCentral;
+  throw std::invalid_argument(
+      "unknown algorithm '" + name +
+      "' (auto|columnsort|virtual|recursive|uneven|ranksort|mergesort|"
+      "central)");
+}
+
 SortOutcome sort(const SimConfig& cfg,
                  const std::vector<std::vector<Word>>& inputs,
                  SortRequest req, TraceSink* sink) {

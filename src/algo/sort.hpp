@@ -30,6 +30,11 @@ enum class SortAlgorithm {
 
 const char* to_string(SortAlgorithm a);
 
+/// Parses a CLI algorithm name (auto|columnsort|virtual|recursive|uneven|
+/// ranksort|mergesort|central). Throws std::invalid_argument on unknown
+/// names. Shared by mcbsim and the sweep harness.
+SortAlgorithm sort_algorithm_from_string(const std::string& name);
+
 struct SortRequest {
   SortAlgorithm algorithm = SortAlgorithm::kAuto;
 };

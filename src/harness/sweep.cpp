@@ -1,0 +1,298 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "algo/selection.hpp"
+#include "algo/sort.hpp"
+#include "harness/thread_pool.hpp"
+#include "theory/bounds.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+
+namespace mcb::harness {
+
+namespace {
+
+const char* engine_name(Engine e) {
+  return e == Engine::kEventDriven ? "event" : "reference";
+}
+
+/// True when the concatenation outputs[0] + outputs[1] + ... is
+/// non-increasing — the library's sort output contract (algo/sort.hpp).
+bool is_descending(const std::vector<std::vector<Word>>& outputs) {
+  bool have_prev = false;
+  Word prev = 0;
+  for (const auto& out : outputs) {
+    for (Word w : out) {
+      if (have_prev && w > prev) return false;
+      prev = w;
+      have_prev = true;
+    }
+  }
+  return true;
+}
+
+void fill_stats(TrialResult& r, const RunStats& stats) {
+  r.cycles = stats.cycles;
+  r.messages = stats.messages;
+  r.peak_aux_words = stats.max_peak_aux();
+  r.proc_resumes = stats.proc_resumes;
+  r.sim_wall_ns = stats.sim_wall_ns;
+}
+
+double mean_ratio(const std::vector<double>& measured,
+                  const std::vector<double>& predicted) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    if (predicted[i] > 0.0) {
+      sum += measured[i] / predicted[i];
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+/// Deterministic double rendering for the sweep JSON (shortest-roundtrip
+/// formatting is locale-independent and identical for identical values).
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+void summary_json(std::ostream& os, const char* name, const Summary& s) {
+  os << '"' << name << "\": {\"min\": " << fmt(s.min)
+     << ", \"mean\": " << fmt(s.mean) << ", \"max\": " << fmt(s.max)
+     << ", \"p50\": " << fmt(s.p50) << ", \"p95\": " << fmt(s.p95) << '}';
+}
+
+void point_json(std::ostream& os, const GridPoint& pt) {
+  os << "\"p\": " << pt.p << ", \"k\": " << pt.k << ", \"n\": " << pt.n
+     << ", \"shape\": \"" << util::json_escape(util::to_string(pt.shape))
+     << "\", \"algorithm\": \"" << util::json_escape(pt.algorithm) << '"';
+}
+
+}  // namespace
+
+std::vector<GridPoint> Sweep::points() const {
+  if (!explicit_points.empty()) return explicit_points;
+  std::vector<GridPoint> pts;
+  pts.reserve(ps.size() * ks.size() * ns.size() * shapes.size() *
+              algorithms.size());
+  for (std::size_t p : ps) {
+    for (std::size_t k : ks) {
+      for (std::size_t n : ns) {
+        for (util::Shape shape : shapes) {
+          for (const auto& algorithm : algorithms) {
+            pts.push_back(GridPoint{p, k, n, shape, algorithm});
+          }
+        }
+      }
+    }
+  }
+  return pts;
+}
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t trial_index) {
+  return util::splitmix64(base_seed ^ util::splitmix64(trial_index));
+}
+
+std::vector<TrialSpec> expand(const Sweep& sweep) {
+  MCB_REQUIRE(sweep.seeds >= 1, "a sweep needs at least one seed per point");
+  const auto pts = sweep.points();
+  MCB_REQUIRE(!pts.empty(), "a sweep needs at least one grid point");
+  std::vector<TrialSpec> specs;
+  specs.reserve(pts.size() * sweep.seeds);
+  for (std::size_t pi = 0; pi < pts.size(); ++pi) {
+    for (std::size_t si = 0; si < sweep.seeds; ++si) {
+      TrialSpec spec;
+      spec.trial_index = specs.size();
+      spec.point_index = pi;
+      spec.seed_index = si;
+      spec.point = pts[pi];
+      spec.seed = trial_seed(sweep.base_seed, spec.trial_index);
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+TrialResult run_trial(const TrialSpec& spec, Engine engine) {
+  TrialResult r;
+  const GridPoint& pt = spec.point;
+  try {
+    SimConfig cfg{.p = pt.p, .k = pt.k};
+    cfg.engine = engine;
+    cfg.validate();
+    const auto w = util::make_workload(pt.n, pt.p, pt.shape, spec.seed);
+
+    if (pt.algorithm == "select") {
+      auto res = algo::select_median(cfg, w.inputs);
+      fill_stats(r, res.stats);
+      r.algorithm_used = "selection";
+      r.predicted_cycles = theory::selection_cycles_term(pt.p, pt.k, pt.n);
+      r.predicted_messages =
+          theory::selection_messages_term(pt.p, pt.k, pt.n);
+      // Verify against the true median of the flattened input.
+      std::vector<Word> flat;
+      flat.reserve(pt.n);
+      for (const auto& in : w.inputs) {
+        flat.insert(flat.end(), in.begin(), in.end());
+      }
+      const std::size_t d = (flat.size() + 1) / 2;  // d-th largest
+      auto nth = flat.begin() + static_cast<std::ptrdiff_t>(d - 1);
+      std::nth_element(flat.begin(), nth, flat.end(), std::greater<Word>{});
+      if (res.value != *nth) {
+        r.error = "verification failed: selection returned " +
+                  std::to_string(res.value) + ", true median is " +
+                  std::to_string(*nth);
+      }
+    } else {
+      auto res = algo::sort(
+          cfg, w.inputs,
+          {.algorithm = algo::sort_algorithm_from_string(pt.algorithm)});
+      fill_stats(r, res.run.stats);
+      r.algorithm_used = algo::to_string(res.used);
+      r.predicted_cycles =
+          theory::sorting_cycles_term(pt.n, pt.k, w.max_local());
+      r.predicted_messages = theory::sorting_messages_term(pt.n);
+      // Verify the output is a descending permutation of the input.
+      if (!is_descending(res.run.outputs)) {
+        r.error = "verification failed: sort output is not descending";
+      } else if (util::multiset_fingerprint(res.run.outputs) !=
+                 util::multiset_fingerprint(w.inputs)) {
+        r.error =
+            "verification failed: sort output is not a permutation of the "
+            "input";
+      }
+    }
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  const auto count = static_cast<double>(values.size());
+  s.min = values.front();
+  s.max = values.back();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) / count;
+  auto nearest_rank = [&](double q) {
+    const auto rank = static_cast<std::size_t>(std::ceil(q * count));
+    return values[(rank == 0 ? 1 : rank) - 1];
+  };
+  s.p50 = nearest_rank(0.50);
+  s.p95 = nearest_rank(0.95);
+  return s;
+}
+
+SweepRun run_sweep(const Sweep& sweep, const SweepOptions& opts) {
+  SweepRun run;
+  run.sweep = sweep;
+  run.specs = expand(sweep);
+  run.results.resize(run.specs.size());
+  run.threads_used = resolve_threads(opts.threads, run.specs.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Each worker writes only results[i] for the indices it claims; trials
+  // share no other mutable state (see harness/thread_pool.hpp).
+  parallel_for_index(run.specs.size(), opts.threads, [&](std::size_t i) {
+    run.results[i] = run_trial(run.specs[i], sweep.engine);
+  });
+  run.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+
+  // Cross-seed aggregation. Trials of one point are contiguous in spec
+  // order (point-major expansion).
+  const auto pts = sweep.points();
+  run.aggregates.reserve(pts.size());
+  for (std::size_t pi = 0; pi < pts.size(); ++pi) {
+    PointAggregate agg;
+    agg.point = pts[pi];
+    std::vector<double> cycles, messages, aux;
+    std::vector<double> pred_cycles, pred_messages;
+    for (std::size_t si = 0; si < sweep.seeds; ++si) {
+      const auto& res = run.results[pi * sweep.seeds + si];
+      ++agg.trials;
+      if (!res.ok()) {
+        ++agg.failed;
+        continue;
+      }
+      cycles.push_back(static_cast<double>(res.cycles));
+      messages.push_back(static_cast<double>(res.messages));
+      aux.push_back(static_cast<double>(res.peak_aux_words));
+      pred_cycles.push_back(res.predicted_cycles);
+      pred_messages.push_back(res.predicted_messages);
+    }
+    agg.cycles = summarize(cycles);
+    agg.messages = summarize(messages);
+    agg.peak_aux_words = summarize(aux);
+    agg.cycles_vs_predicted = mean_ratio(cycles, pred_cycles);
+    agg.messages_vs_predicted = mean_ratio(messages, pred_messages);
+    run.aggregates.push_back(std::move(agg));
+  }
+  return run;
+}
+
+std::string sweep_json(const SweepRun& run) {
+  std::ostringstream os;
+  os << "{\n  \"sweep\": {\"base_seed\": " << run.sweep.base_seed
+     << ", \"seeds\": " << run.sweep.seeds << ", \"engine\": \""
+     << engine_name(run.sweep.engine)
+     << "\", \"points\": " << run.aggregates.size()
+     << ", \"trials\": " << run.results.size() << "},\n";
+
+  os << "  \"trials\": [\n";
+  for (std::size_t i = 0; i < run.specs.size(); ++i) {
+    const auto& spec = run.specs[i];
+    const auto& res = run.results[i];
+    os << "    {\"trial\": " << spec.trial_index
+       << ", \"point\": " << spec.point_index
+       << ", \"seed_index\": " << spec.seed_index
+       << ", \"seed\": " << spec.seed << ", ";
+    point_json(os, spec.point);
+    os << ", \"algorithm_used\": \"" << util::json_escape(res.algorithm_used)
+       << "\", \"cycles\": " << res.cycles
+       << ", \"messages\": " << res.messages
+       << ", \"peak_aux_words\": " << res.peak_aux_words
+       << ", \"proc_resumes\": " << res.proc_resumes
+       << ", \"predicted_cycles\": " << fmt(res.predicted_cycles)
+       << ", \"predicted_messages\": " << fmt(res.predicted_messages)
+       << ", \"error\": \"" << util::json_escape(res.error) << "\"}"
+       << (i + 1 < run.specs.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n";
+
+  os << "  \"aggregates\": [\n";
+  for (std::size_t i = 0; i < run.aggregates.size(); ++i) {
+    const auto& agg = run.aggregates[i];
+    os << "    {\"point\": " << i << ", ";
+    point_json(os, agg.point);
+    os << ", \"trials\": " << agg.trials << ", \"failed\": " << agg.failed
+       << ", ";
+    summary_json(os, "cycles", agg.cycles);
+    os << ", ";
+    summary_json(os, "messages", agg.messages);
+    os << ", ";
+    summary_json(os, "peak_aux_words", agg.peak_aux_words);
+    os << ", \"cycles_vs_predicted\": " << fmt(agg.cycles_vs_predicted)
+       << ", \"messages_vs_predicted\": " << fmt(agg.messages_vs_predicted)
+       << '}' << (i + 1 < run.aggregates.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace mcb::harness

@@ -197,7 +197,10 @@ void Network::run_event_loop() {
 
     if (sink_ != nullptr) {
       for (Proc* pr : active) {
-        if (!pr->pending_write_ && !pr->pending_read_) continue;
+        if (!pr->pending_write_ && !pr->pending_read_ &&
+            !pr->pending_read_all_) {
+          continue;
+        }
         CycleEvent ev;
         ev.cycle = now_;
         ev.proc = pr->id_;
@@ -207,6 +210,10 @@ void Network::run_event_loop() {
         }
         ev.read = pr->pending_read_;
         ev.received = pr->read_result_;
+        if (pr->pending_read_all_) {
+          ev.read_all = true;
+          ev.received_all = pr->read_all_results_;
+        }
         sink_->on_event(ev);
       }
     }
@@ -270,7 +277,10 @@ void Network::run_reference_loop() {
 
     if (sink_ != nullptr) {
       for (auto& pr : procs_) {
-        if (pr->done_ || (!pr->pending_write_ && !pr->pending_read_)) continue;
+        if (pr->done_ || (!pr->pending_write_ && !pr->pending_read_ &&
+                          !pr->pending_read_all_)) {
+          continue;
+        }
         CycleEvent ev;
         ev.cycle = now_;
         ev.proc = pr->id_;
@@ -280,6 +290,10 @@ void Network::run_reference_loop() {
         }
         ev.read = pr->pending_read_;
         ev.received = pr->read_result_;
+        if (pr->pending_read_all_) {
+          ev.read_all = true;
+          ev.received_all = pr->read_all_results_;
+        }
         sink_->on_event(ev);
       }
     }

@@ -1,5 +1,6 @@
 #include "mcb/trace.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mcb {
@@ -33,9 +34,45 @@ std::string ChannelTrace::render(std::size_t num_channels) const {
       }
       os << '\n';
     }
+    if (ev.read_all) {
+      os << "  P" << ev.proc + 1 << " <- all:";
+      for (std::size_t c = 0; c < ev.received_all.size(); ++c) {
+        os << " C" << c + 1 << ' ';
+        if (ev.received_all[c]) {
+          os << *ev.received_all[c];
+        } else {
+          os << "(silence)";
+        }
+      }
+      os << '\n';
+    }
   }
   if (truncated_) os << "... (trace truncated)\n";
-  (void)num_channels;
+
+  // Per-channel utilization over the traced span: how many of the traced
+  // cycles each channel carried a write.
+  if (!events_.empty()) {
+    std::vector<std::uint64_t> writes(num_channels, 0);
+    Cycle first = events_.front().cycle;
+    Cycle last = events_.front().cycle;
+    for (const auto& ev : events_) {
+      first = std::min(first, ev.cycle);
+      last = std::max(last, ev.cycle);
+      if (ev.wrote) {
+        if (*ev.wrote >= writes.size()) writes.resize(*ev.wrote + 1, 0);
+        ++writes[*ev.wrote];
+      }
+    }
+    const Cycle span = last - first + 1;
+    os << "channel utilization over cycles " << first << ".." << last
+       << " (" << span << " cycles):\n";
+    for (std::size_t c = 0; c < writes.size(); ++c) {
+      const auto pct =
+          static_cast<std::uint64_t>(writes[c] * 100 / span);
+      os << "  C" << c + 1 << ": " << writes[c] << " writes (" << pct
+         << "%)\n";
+    }
+  }
   return os.str();
 }
 

@@ -23,6 +23,11 @@ struct CycleEvent {
   std::optional<Message> sent;       ///< the message written
   std::optional<ChannelId> read;     ///< channel read, if any
   std::optional<Message> received;   ///< message observed (nullopt = silence)
+  /// Section 9 multi-read (Proc::cycle_all): true when the processor read
+  /// every channel this cycle; received_all[c] is then what it observed on
+  /// channel c (nullopt = silence). Empty unless read_all is set.
+  bool read_all = false;
+  std::vector<std::optional<Message>> received_all;
 };
 
 /// Observer interface. Implementations must not mutate the network.
@@ -44,7 +49,10 @@ class ChannelTrace final : public TraceSink {
   const std::vector<CycleEvent>& events() const { return events_; }
   bool truncated() const { return truncated_; }
 
-  /// "cycle 3: P2 -> C1 [42]; P4 reads C1" style rendering.
+  /// "cycle 3: P2 -> C1 [42]; P4 reads C1" style rendering, followed by a
+  /// per-channel utilization footer (writes per channel over the traced
+  /// span) sized by `num_channels` — channels beyond it that appear in the
+  /// events are still shown.
   std::string render(std::size_t num_channels) const;
 
  private:

@@ -1,0 +1,297 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mcb::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::invalid_argument("JSON parse error at offset " +
+                              std::to_string(pos) + ": " + what);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::invalid_argument("JSON: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::invalid_argument("JSON: not a number");
+  }
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) {
+    throw std::invalid_argument("JSON: not a string");
+  }
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  throw std::invalid_argument("JSON: size() on a scalar");
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("JSON: not an array");
+  if (i >= array_.size()) throw std::invalid_argument("JSON: index range");
+  return array_[i];
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("JSON: not an array");
+  return array_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("JSON: not an object");
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw std::invalid_argument("JSON: missing key " + key);
+  return *v;
+}
+
+// Recursive-descent parser over the whole input string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind_ = JsonValue::Kind::kString;
+      v.string_ = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind_ = JsonValue::Kind::kBool;
+      v.bool_ = false;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail(pos_ - 1, "bad \\u digit");
+            }
+          }
+          // UTF-8 encode the code point (basic plane only — the escapes our
+          // serializers emit are control characters, all < 0x80).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(start, "expected a value");
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_) {
+      fail(start, "malformed number");
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = value;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue json_parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace mcb::util

@@ -1,0 +1,67 @@
+// Minimal JSON support for the tools and tests.
+//
+// The library's machine-readable outputs (mcbsim --json, the sweep harness,
+// the BENCH_*.json artifacts) are emitted by hand-written serializers;
+// json_escape makes the string fields of those outputs well-formed. The
+// parser is the consumer side: tests parse the emitted documents back to
+// validate structure and values, without an external JSON dependency.
+//
+// The parser is strict RFC 8259 on everything the serializers emit (objects,
+// arrays, strings with escapes, numbers, booleans, null) and throws
+// std::invalid_argument on malformed input.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcb::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (adds backslash
+/// escapes; control characters become \u00XX). Does not add the quotes.
+std::string json_escape(std::string_view s);
+
+/// A parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw std::invalid_argument on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const;
+  const std::vector<JsonValue>& items() const;
+
+  /// Object access: find returns nullptr when the key is absent; at throws.
+  const JsonValue* find(const std::string& key) const;
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend JsonValue json_parse(std::string_view);
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;  // insertion order
+};
+
+/// Parses one JSON document (throws std::invalid_argument on syntax errors
+/// or trailing garbage).
+JsonValue json_parse(std::string_view text);
+
+}  // namespace mcb::util

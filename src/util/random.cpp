@@ -5,23 +5,25 @@
 namespace mcb::util {
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ull;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
 }  // namespace
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
   std::uint64_t sm = seed;
-  for (auto& lane : s_) lane = splitmix64(sm);
+  for (auto& lane : s_) {
+    lane = splitmix64(sm);
+    sm += 0x9e3779b97f4a7c15ull;
+  }
   // All-zero state is the one invalid state; splitmix64 cannot produce four
   // zero outputs from any seed, but guard anyway.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;

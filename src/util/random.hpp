@@ -14,6 +14,12 @@
 
 namespace mcb::util {
 
+/// One round of the splitmix64 output function (Steele, Lea & Flood; public
+/// domain reference algorithm): a stateless 64-bit finalizer/mixer. Used to
+/// seed the xoshiro lanes and, by the sweep harness, to derive independent
+/// per-trial seeds from (base_seed, trial_index).
+std::uint64_t splitmix64(std::uint64_t x);
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 class Xoshiro256StarStar {
  public:

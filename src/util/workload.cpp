@@ -152,4 +152,20 @@ Workload make_workload(std::size_t n, std::size_t p, Shape shape,
   return make_workload(cardinalities(n, p, shape, seed), seed);
 }
 
+MultisetFingerprint multiset_fingerprint(
+    const std::vector<std::vector<Word>>& lists) {
+  MultisetFingerprint fp;
+  for (const auto& list : lists) {
+    fp.count += list.size();
+    for (Word w : list) {
+      const auto u = static_cast<std::uint64_t>(w);
+      const std::uint64_t h = splitmix64(u);
+      fp.sum += u;
+      fp.hash_xor ^= h;
+      fp.hash_sum += h;
+    }
+  }
+  return fp;
+}
+
 }  // namespace mcb::util

@@ -50,4 +50,22 @@ Workload make_workload(std::size_t n, std::size_t p, Shape shape,
 Workload make_workload(const std::vector<std::size_t>& sizes,
                        std::uint64_t seed);
 
+/// Order-insensitive content fingerprint of a distributed list: element
+/// count, wrapping sum, and two independent mixes (xor / wrapping sum of
+/// splitmix64 of each value). Two lists with equal fingerprints hold the
+/// same multiset of values up to astronomically unlikely collisions; used by
+/// the sweep harness and the bench guards to reject outputs that drop,
+/// duplicate or invent elements.
+struct MultisetFingerprint {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t hash_xor = 0;
+  std::uint64_t hash_sum = 0;
+  friend bool operator==(const MultisetFingerprint&,
+                         const MultisetFingerprint&) = default;
+};
+
+MultisetFingerprint multiset_fingerprint(
+    const std::vector<std::vector<Word>>& lists);
+
 }  // namespace mcb::util

@@ -62,6 +62,50 @@ TEST(BenchCommonTest, AcceptsTheLibrarysActualSortOutput) {
   auto res = algo::sort({.p = 8, .k = 4}, w.inputs);
   EXPECT_TRUE(is_sorted_output(res.run.outputs));
   EXPECT_FALSE(is_sorted_output(w.inputs));  // shuffled permutation
+  EXPECT_TRUE(is_permutation_output(res.run.outputs, w.inputs));
+}
+
+// --- permutation guard --------------------------------------------------------
+//
+// Ordering alone is not a sort check: an implementation that loses or
+// duplicates elements can still emit a perfectly ordered sequence. These pin
+// the failure modes the content fingerprint must catch.
+
+TEST(BenchCommonTest, PermutationAcceptsReorderings) {
+  EXPECT_TRUE(is_permutation_output({{9, 7}, {3}}, {{3, 9}, {7}}));
+  // Redistribution across processors is fine — only content counts.
+  EXPECT_TRUE(is_permutation_output({{9, 7, 3}, {}}, {{3}, {9, 7}}));
+  EXPECT_TRUE(is_permutation_output({}, {}));
+}
+
+TEST(BenchCommonTest, PermutationRejectsDroppedElements) {
+  // Sorted AND missing an element: is_sorted_output alone waves it through;
+  // the permutation guard must reject it.
+  const std::vector<std::vector<Word>> input = {{5, 2}, {9, 1}};
+  const std::vector<std::vector<Word>> dropped = {{9, 5}, {2}};
+  EXPECT_TRUE(is_sorted_output(dropped));
+  EXPECT_FALSE(is_permutation_output(dropped, input));
+}
+
+TEST(BenchCommonTest, PermutationRejectsDuplicatedElements) {
+  const std::vector<std::vector<Word>> input = {{5, 2}, {9, 1}};
+  const std::vector<std::vector<Word>> duped = {{9, 5}, {5, 2, 1}};
+  EXPECT_TRUE(is_sorted_output(duped));
+  EXPECT_FALSE(is_permutation_output(duped, input));
+}
+
+TEST(BenchCommonTest, PermutationRejectsSubstitutedValues) {
+  // Same count, same ordering, different content — catches a sort that
+  // fabricates values (count- or sum-only checks can be fooled; the hashed
+  // fingerprint components make compensating errors implausible).
+  EXPECT_FALSE(is_permutation_output({{9, 4}}, {{9, 5}}));
+  // ... including swaps that preserve the sum.
+  EXPECT_FALSE(is_permutation_output({{8, 6}}, {{9, 5}}));
+}
+
+TEST(BenchCommonTest, PermutationCountsMultiplicity) {
+  EXPECT_TRUE(is_permutation_output({{4, 4, 1}}, {{4, 1, 4}}));
+  EXPECT_FALSE(is_permutation_output({{4, 4, 1}}, {{4, 1, 1}}));
 }
 
 }  // namespace

@@ -1,7 +1,13 @@
-// Tests of the command-line flag parser used by the tools.
+// Tests of the command-line flag parser used by the tools, plus end-to-end
+// subprocess tests of mcbsim's --json output (parsed back with util::json).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 namespace mcb::util {
 namespace {
@@ -65,6 +71,96 @@ TEST(CliTest, ValuelessFlagBeforeAnotherFlag) {
   auto cli = Cli::parse({"x", "--verbose", "--p", "3"});
   EXPECT_TRUE(cli.get_bool("verbose"));
   EXPECT_EQ(cli.get_uint("p", 0), 3u);
+}
+
+// --- mcbsim --json end-to-end -------------------------------------------------
+//
+// These run the real binary (path injected through MCBSIM_BIN by ctest) and
+// parse its --json output back, pinning the machine-readable contract:
+// RunStats telemetry must be present and string fields must survive a strict
+// parser. Skipped when the binary's location is unknown (e.g. running the
+// test executable by hand outside ctest).
+
+const char* mcbsim_bin() { return std::getenv("MCBSIM_BIN"); }
+
+std::string run_command(const std::string& cmd) {
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  std::string out;
+  char buf[4096];
+  while (pipe != nullptr) {
+    const auto got = fread(buf, 1, sizeof(buf), pipe);
+    if (got == 0) break;
+    out.append(buf, got);
+  }
+  if (pipe != nullptr) {
+    EXPECT_EQ(pclose(pipe), 0) << cmd << "\noutput:\n" << out;
+  }
+  return out;
+}
+
+void expect_stats_telemetry(const JsonValue& stats) {
+  EXPECT_GT(stats.at("cycles").as_number(), 0.0);
+  EXPECT_GT(stats.at("messages").as_number(), 0.0);
+  // The RunStats telemetry the seed CLI dropped: wall time, resume count
+  // and throughput must all be serialized.
+  ASSERT_NE(stats.find("sim_wall_ns"), nullptr);
+  EXPECT_GT(stats.at("proc_resumes").as_number(), 0.0);
+  ASSERT_NE(stats.find("cycles_per_sec"), nullptr);
+  EXPECT_TRUE(stats.at("phases").is_array());
+}
+
+TEST(McbsimJsonTest, SortEmitsTelemetryAndParses) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const auto out = run_command(std::string(mcbsim_bin()) +
+                               " sort --p 8 --k 2 --n 128 --json");
+  const auto doc = json_parse(out);
+  EXPECT_FALSE(doc.at("algorithm").as_string().empty());
+  expect_stats_telemetry(doc.at("stats"));
+}
+
+TEST(McbsimJsonTest, SelectEmitsTelemetryAndParses) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const auto out = run_command(std::string(mcbsim_bin()) +
+                               " select --p 8 --k 2 --n 128 --json");
+  const auto doc = json_parse(out);
+  ASSERT_NE(doc.find("value"), nullptr);
+  EXPECT_GT(doc.at("filter_phases").as_number(), 0.0);
+  expect_stats_telemetry(doc.at("stats"));
+}
+
+TEST(McbsimJsonTest, SweepEmitsGridTrialsAndAggregates) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const std::string flags =
+      " sweep --p 4,8 --k 2 --n 64 --algorithms auto,select --seeds 2 "
+      "--json";
+  const auto out = run_command(std::string(mcbsim_bin()) + flags);
+  const auto doc = json_parse(out);
+  EXPECT_TRUE(doc.at("sweep").is_object());
+  // 2 p-values x 2 algorithms x 2 seeds.
+  ASSERT_EQ(doc.at("trials").size(), 8u);
+  ASSERT_EQ(doc.at("aggregates").size(), 4u);
+  for (const auto& trial : doc.at("trials").items()) {
+    EXPECT_EQ(trial.at("error").as_string(), "");
+    EXPECT_GT(trial.at("cycles").as_number(), 0.0);
+    // Determinism contract: no host-side timing in sweep JSON.
+    EXPECT_EQ(trial.find("sim_wall_ns"), nullptr);
+  }
+  for (const auto& agg : doc.at("aggregates").items()) {
+    EXPECT_EQ(agg.at("failed").as_number(), 0.0);
+    EXPECT_GT(agg.at("cycles").at("mean").as_number(), 0.0);
+  }
+}
+
+TEST(McbsimJsonTest, SweepJsonIdenticalAcrossThreadFlags) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const std::string grid =
+      " sweep --p 4,8 --k 2 --n 64,128 --algorithms select --seeds 3 --json"
+      " --threads ";
+  const auto t1 = run_command(std::string(mcbsim_bin()) + grid + "1");
+  const auto t4 = run_command(std::string(mcbsim_bin()) + grid + "4");
+  EXPECT_EQ(t1, t4);
+  EXPECT_FALSE(t1.empty());
 }
 
 }  // namespace

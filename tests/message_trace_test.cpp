@@ -85,6 +85,64 @@ TEST(TraceTest, CapturesWritesReadsAndSilence) {
   EXPECT_FALSE(trace.truncated());
 }
 
+TEST(TraceTest, UtilizationFooterCountsWritesPerChannel) {
+  // render(num_channels) reports per-channel write counts over the traced
+  // span. (The seed implementation discarded its num_channels parameter and
+  // emitted no utilization at all.)
+  ChannelTrace trace;
+  Network net({.p = 2, .k = 2}, &trace);
+  auto prog = [](Proc& self) -> ProcMain {
+    co_await self.write(0, Message::of(Word{1}));
+    co_await self.write(1, Message::of(Word{2}));
+    co_await self.write(0, Message::of(Word{3}));
+  };
+  auto idle = [](Proc& self) -> ProcMain {
+    co_await self.step();  // no channel intent — invisible to the trace
+  };
+  net.install(0, prog(net.proc(0)));
+  net.install(1, idle(net.proc(1)));
+  net.run();
+
+  const auto text = trace.render(2);
+  EXPECT_NE(text.find("channel utilization over cycles 0..2 (3 cycles):"),
+            std::string::npos);
+  EXPECT_NE(text.find("C1: 2 writes (66%)"), std::string::npos);
+  EXPECT_NE(text.find("C2: 1 writes (33%)"), std::string::npos);
+
+  // The parameter sizes the footer: channels beyond those written appear
+  // with zero utilization instead of vanishing.
+  const auto wide = trace.render(4);
+  EXPECT_NE(wide.find("C3: 0 writes (0%)"), std::string::npos);
+  EXPECT_NE(wide.find("C4: 0 writes (0%)"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyTraceOmitsUtilizationFooter) {
+  ChannelTrace trace;
+  EXPECT_EQ(trace.render(4).find("channel utilization"), std::string::npos);
+}
+
+TEST(TraceTest, MultiReadEventsAreRendered) {
+  // A cycle_all() suspension must show up in the trace as one "<- all:"
+  // line covering every channel. (The seed engine loops skipped processors
+  // whose only pending operation was a multi-read, so such cycles were
+  // invisible to any sink.)
+  ChannelTrace trace;
+  Network net({.p = 2, .k = 2, .multi_read = true}, &trace);
+  auto writer = [](Proc& self) -> ProcMain {
+    co_await self.write(1, Message::of(Word{9}));
+  };
+  auto reader = [](Proc& self) -> ProcMain {
+    co_await self.cycle_all(std::nullopt);
+  };
+  net.install(0, writer(net.proc(0)));
+  net.install(1, reader(net.proc(1)));
+  net.run();
+
+  const auto text = trace.render(2);
+  EXPECT_NE(text.find("P1 -> C2 [9]"), std::string::npos);
+  EXPECT_NE(text.find("P2 <- all: C1 (silence) C2 [9]"), std::string::npos);
+}
+
 TEST(TraceTest, CapacityTruncates) {
   ChannelTrace trace(/*capacity=*/2);
   Network net({.p = 1, .k = 1}, &trace);

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "algo/baselines.hpp"
 #include "algo/columnsort_even.hpp"
 #include "mcb/network.hpp"
+#include "mcb/trace.hpp"
 #include "util/workload.hpp"
 
 namespace mcb {
@@ -71,6 +73,41 @@ TEST(MultiReadTest, WriteAndMultiReadInOneCycle) {
   // The multi-reader hears both channels — including its own write.
   std::sort(heard.begin(), heard.end());
   EXPECT_EQ(heard, (std::vector<Word>{7, 9}));
+}
+
+// Both engines must make multi-read cycles visible to the trace sink, and
+// must agree on the events to the byte. (The seed's trace-emission blocks
+// skipped processors whose only pending operation was a cycle_all, so a
+// pure multi-read protocol traced as completely silent — under either
+// engine.)
+TEST(MultiReadTest, TracedIdenticallyUnderBothEngines) {
+  auto run_traced = [](Engine engine) {
+    ChannelTrace trace;
+    Network net({.p = 3, .k = 2, .multi_read = true, .engine = engine},
+                &trace);
+    auto writer = [](Proc& self, ChannelId ch, Word v) -> ProcMain {
+      co_await self.write(ch, Message::of(v));
+      co_await self.cycle_all(std::nullopt);  // then turn multi-reader
+    };
+    auto reader = [](Proc& self) -> ProcMain {
+      co_await self.cycle_all(std::nullopt);
+      co_await self.cycle_all(WriteOp{0, Message::of(Word{77})});
+    };
+    net.install(0, writer(net.proc(0), 0, Word{10}));
+    net.install(1, writer(net.proc(1), 1, Word{11}));
+    net.install(2, reader(net.proc(2)));
+    net.run();
+    return trace.render(2);
+  };
+
+  const auto event = run_traced(Engine::kEventDriven);
+  const auto reference = run_traced(Engine::kReference);
+  EXPECT_FALSE(event.empty());
+  EXPECT_EQ(event, reference);
+  // The pure multi-read cycle is present, with the channel contents heard.
+  EXPECT_NE(event.find("P3 <- all: C1 [10] C2 [11]"), std::string::npos);
+  // And a combined write + multi-read renders both halves.
+  EXPECT_NE(event.find("P3 -> C1 [77]"), std::string::npos);
 }
 
 TEST(MultiReadTest, RejectedWhenDisabled) {

@@ -12,15 +12,29 @@ JOBS="${1:-$(nproc)}"
 
 run_preset() {
   local preset="$1"
+  local builddir="$2"
   echo "=== [$preset] configure ==="
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$JOBS"
   echo "=== [$preset] test ==="
   ctest --preset "$preset"
+  # Smoke the parallel sweep harness end-to-end through the CLI: a small
+  # grid on several workers, plus the determinism contract (the JSON output
+  # must not depend on the thread count). The harness itself needs no TSan
+  # run — trials share nothing (see src/harness/thread_pool.hpp) — but the
+  # ASan+UBSan pass covers the pool's lifetime handling.
+  echo "=== [$preset] sweep smoke ==="
+  "$builddir/tools/mcbsim" sweep --p 4,8 --k 2 --n 64,128 \
+    --shapes even,random --algorithms auto,select --seeds 2 --threads 4
+  "$builddir/tools/mcbsim" sweep --p 8 --k 2 --n 256 --algorithms select \
+    --seeds 3 --threads 1 --json > "$builddir/sweep_t1.json"
+  "$builddir/tools/mcbsim" sweep --p 8 --k 2 --n 256 --algorithms select \
+    --seeds 3 --threads 4 --json > "$builddir/sweep_t4.json"
+  cmp "$builddir/sweep_t1.json" "$builddir/sweep_t4.json"
 }
 
-run_preset release
-run_preset asan-ubsan
+run_preset release build-release
+run_preset asan-ubsan build-asan
 
-echo "CI OK: release + asan-ubsan suites passed"
+echo "CI OK: release + asan-ubsan suites and sweep smoke passed"

@@ -7,13 +7,19 @@
 //   mcbsim psum    --p 16 --k 4 [--op add|max|min]
 //   mcbsim trace   --p 4  [--n 48] [--seed 3]   (cycle-level channel dump)
 //   mcbsim bounds  --p 16 --k 4 --n 1024 [--shape even] [--d rank]
+//   mcbsim sweep   --p 8,16 --k 2,4 --n 1024 [--shapes even,zipf]
+//                  [--algorithms auto,select] [--seeds 3] [--seed 1]
+//                  [--threads N] [--engine event|reference] [--json]
 //
 // Exit code 0 on success; 2 on usage errors.
 #include <iostream>
+#include <sstream>
 
+#include "harness/sweep.hpp"
 #include "mcb/mcb.hpp"
 #include "se/shout_echo.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -30,29 +36,44 @@ util::Shape parse_shape(const std::string& s) {
                               "' (even|zipf|onehot|random|staircase)");
 }
 
-algo::SortAlgorithm parse_algorithm(const std::string& s) {
-  if (s == "auto") return algo::SortAlgorithm::kAuto;
-  if (s == "columnsort") return algo::SortAlgorithm::kColumnsortEven;
-  if (s == "virtual") return algo::SortAlgorithm::kVirtualColumnsort;
-  if (s == "recursive") return algo::SortAlgorithm::kRecursive;
-  if (s == "uneven") return algo::SortAlgorithm::kUnevenColumnsort;
-  if (s == "ranksort") return algo::SortAlgorithm::kRankSort;
-  if (s == "mergesort") return algo::SortAlgorithm::kMergeSort;
-  if (s == "central") return algo::SortAlgorithm::kCentral;
-  throw std::invalid_argument(
-      "unknown algorithm '" + s +
-      "' (auto|columnsort|virtual|recursive|uneven|ranksort|mergesort|"
-      "central)");
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("empty list '" + s + "'");
+  }
+  return out;
+}
+
+std::vector<std::size_t> parse_uint_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  for (const auto& item : split_list(s)) {
+    std::size_t pos = 0;
+    const auto v = std::stoull(item, &pos);
+    if (pos != item.size()) {
+      throw std::invalid_argument("malformed integer '" + item + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
 }
 
 void print_stats_json(const RunStats& stats, std::ostream& os) {
   os << "{\"cycles\":" << stats.cycles << ",\"messages\":" << stats.messages
-     << ",\"peak_aux_words\":" << stats.max_peak_aux() << ",\"phases\":[";
+     << ",\"peak_aux_words\":" << stats.max_peak_aux()
+     << ",\"sim_wall_ns\":" << stats.sim_wall_ns
+     << ",\"proc_resumes\":" << stats.proc_resumes
+     << ",\"cycles_per_sec\":" << stats.cycles_per_sec << ",\"phases\":[";
   for (std::size_t i = 0; i < stats.phases.size(); ++i) {
     const auto& ph = stats.phases[i];
     if (i) os << ',';
-    os << "{\"name\":\"" << ph.name << "\",\"cycles\":" << ph.cycles
-       << ",\"messages\":" << ph.messages << '}';
+    os << "{\"name\":\"" << util::json_escape(ph.name)
+       << "\",\"cycles\":" << ph.cycles << ",\"messages\":" << ph.messages
+       << '}';
   }
   os << "]}";
 }
@@ -75,13 +96,15 @@ int cmd_sort(const util::Cli& cli) {
   const auto n = cli.get_uint("n", 1024);
   const auto shape = parse_shape(cli.get_string("shape", "even"));
   const auto seed = cli.get_uint("seed", 1);
-  const auto algorithm = parse_algorithm(cli.get_string("algorithm", "auto"));
+  const auto algorithm =
+      algo::sort_algorithm_from_string(cli.get_string("algorithm", "auto"));
   const bool json = cli.get_bool("json");
 
   auto w = util::make_workload(n, p, shape, seed);
   auto res = algo::sort({.p = p, .k = k}, w.inputs, {.algorithm = algorithm});
   if (json) {
-    std::cout << "{\"algorithm\":\"" << algo::to_string(res.used) << "\",";
+    std::cout << "{\"algorithm\":\""
+              << util::json_escape(algo::to_string(res.used)) << "\",";
     std::cout << "\"stats\":";
     print_stats_json(res.run.stats, std::cout);
     std::cout << "}\n";
@@ -198,15 +221,89 @@ int cmd_bounds(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_sweep(const util::Cli& cli) {
+  harness::Sweep sweep;
+  sweep.ps = parse_uint_list(cli.get_string("p", "16"));
+  sweep.ks = parse_uint_list(cli.get_string("k", "4"));
+  sweep.ns = parse_uint_list(cli.get_string("n", "1024"));
+  sweep.shapes.clear();
+  for (const auto& s : split_list(cli.get_string("shapes", "even"))) {
+    sweep.shapes.push_back(parse_shape(s));
+  }
+  sweep.algorithms = split_list(cli.get_string("algorithms", "auto"));
+  // Reject typos up front instead of failing every trial.
+  for (const auto& a : sweep.algorithms) {
+    if (a != "select") algo::sort_algorithm_from_string(a);
+  }
+  sweep.base_seed = cli.get_uint("seed", 1);
+  sweep.seeds = cli.get_uint("seeds", 1);
+  const auto engine = cli.get_string("engine", "event");
+  if (engine == "reference") {
+    sweep.engine = Engine::kReference;
+  } else if (engine != "event") {
+    throw std::invalid_argument("unknown engine '" + engine +
+                                "' (event|reference)");
+  }
+  const auto threads = cli.get_uint("threads", 0);
+  const bool json = cli.get_bool("json");
+
+  auto run = harness::run_sweep(sweep, {.threads = threads});
+
+  if (json) {
+    // Deterministic serialization: byte-identical regardless of --threads.
+    std::cout << harness::sweep_json(run);
+    return 0;
+  }
+
+  util::Table t;
+  t.header({"p", "k", "n", "shape", "algorithm", "trials", "failed",
+            "cyc mean", "cyc p95", "msg mean", "msg p95", "aux max",
+            "cyc/pred", "msg/pred"});
+  for (const auto& agg : run.aggregates) {
+    t.row({util::Table::num(agg.point.p), util::Table::num(agg.point.k),
+           util::Table::num(agg.point.n),
+           util::Table::txt(util::to_string(agg.point.shape)),
+           util::Table::txt(agg.point.algorithm),
+           util::Table::num(agg.trials), util::Table::num(agg.failed),
+           util::Table::num(agg.cycles.mean, 1),
+           util::Table::num(agg.cycles.p95, 0),
+           util::Table::num(agg.messages.mean, 1),
+           util::Table::num(agg.messages.p95, 0),
+           util::Table::num(agg.peak_aux_words.max, 0),
+           util::Table::num(agg.cycles_vs_predicted, 2),
+           util::Table::num(agg.messages_vs_predicted, 2)});
+  }
+  std::cout << t;
+  std::size_t failed = 0;
+  for (const auto& res : run.results) {
+    if (!res.ok()) ++failed;
+  }
+  std::cout << run.results.size() << " trials over "
+            << run.aggregates.size() << " grid points on "
+            << run.threads_used << " threads in "
+            << static_cast<double>(run.wall_ns) / 1e6 << " ms";
+  if (failed > 0) std::cout << " (" << failed << " FAILED)";
+  std::cout << "\n";
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    if (!run.results[i].ok()) {
+      std::cerr << "trial " << i << ": " << run.results[i].error << "\n";
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int usage() {
   std::cerr <<
-      "usage: mcbsim <sort|select|psum|trace|bounds> [--flags]\n"
+      "usage: mcbsim <sort|select|psum|trace|bounds|sweep> [--flags]\n"
       "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--json]\n"
       "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo] "
       "[--json]\n"
       "  psum    --p --k [--op add|max|min]\n"
       "  trace   --p [--n] [--seed] [--limit]\n"
-      "  bounds  --p --k --n [--shape] [--d]\n";
+      "  bounds  --p --k --n [--shape] [--d]\n"
+      "  sweep   --p 8,16 --k 2,4 --n 1024,4096 [--shapes even,zipf]\n"
+      "          [--algorithms auto,select] [--seeds S] [--seed B]\n"
+      "          [--threads N] [--engine event|reference] [--json]\n";
   return 2;
 }
 
@@ -226,6 +323,8 @@ int main(int argc, char** argv) {
       rc = cmd_trace(cli);
     } else if (cli.command() == "bounds") {
       rc = cmd_bounds(cli);
+    } else if (cli.command() == "sweep") {
+      rc = cmd_sweep(cli);
     } else {
       return usage();
     }
