@@ -4,13 +4,27 @@
 // Unlike the other bench binaries (which measure the *model's* cycle and
 // message complexity), this one measures the *simulator's* wall-clock cost —
 // the quantity every future scaling experiment is bounded by. For each grid
-// point both engines run the identical workload; correctness of the
-// comparison rests on tests/scheduler_equivalence_test.cpp, which pins the
-// two engines to bit-identical accounting.
+// point both engines run the identical workload kReps times; the row kept is
+// the median rep by wall clock (single runs proved too noisy to gate on).
+// Correctness of the comparison rests on
+// tests/scheduler_equivalence_test.cpp, which pins the two engines to
+// bit-identical accounting; this binary additionally cross-checks that every
+// rep agrees on cycles and messages.
 //
-// Output: a per-grid-point table (wall ns, resumes, cycles/sec, speedup) and
-// a machine-readable BENCH_simspeed.json (path overridable as argv[1]) so
-// future PRs can track the simulator-performance trajectory.
+// Output: a per-grid-point table (median wall ns, resumes, cycles/sec,
+// arena telemetry, speedup) and a machine-readable BENCH_simspeed.json
+// (path overridable as argv[1]) so future PRs can track the
+// simulator-performance trajectory. Field names of earlier revisions are
+// preserved; medians slot into the old single-run fields.
+//
+// Two gates, each failing the binary when enforced:
+//   * event_vs_reference — the event engine must beat the reference loop
+//     >= 5x on the skip-heavy selection p=4096 k=4 point (since PR 1).
+//   * arena_vs_pr2 — with the frame arena on, the same point's event
+//     wall-clock must beat the PR-2 recorded baseline >= 1.3x and the
+//     arena hit rate must exceed 0.9 in steady state. Not enforced in
+//     MCB_FRAME_ARENA=OFF builds (tools/ci.sh warns on unenforced gates).
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -26,20 +40,34 @@
 namespace mcb::bench {
 namespace {
 
+constexpr std::size_t kReps = 3;
+
+// Event-engine wall clock of selection p=4096 k=4 recorded in
+// BENCH_simspeed.json by PR 2 (commit 59e879e), before the frame arena and
+// the wake wheel. The arena gate measures against this fixed point.
+constexpr std::uint64_t kPr2EventWallNs = 206128073;
+constexpr double kArenaRequiredSpeedup = 1.3;
+constexpr double kArenaRequiredHitRate = 0.9;
+
 struct GridPoint {
   std::string bench;  // "sort" | "selection"
   std::size_t p, k, n;
 };
 
+struct EngineResult {
+  RunStats median;                     // the median rep by sim_wall_ns
+  std::vector<std::uint64_t> wall_ns;  // all reps, run order
+};
+
 struct Row {
   GridPoint pt;
-  RunStats ref;    // scan-the-world baseline
-  RunStats event;  // wake-queue engine
+  EngineResult ref;    // scan-the-world baseline
+  EngineResult event;  // wake-queue engine
   double speedup() const {
-    return event.sim_wall_ns == 0
+    return event.median.sim_wall_ns == 0
                ? 0.0
-               : static_cast<double>(ref.sim_wall_ns) /
-                     static_cast<double>(event.sim_wall_ns);
+               : static_cast<double>(ref.median.sim_wall_ns) /
+                     static_cast<double>(event.median.sim_wall_ns);
   }
 };
 
@@ -56,8 +84,33 @@ RunStats run_point(const GridPoint& pt, Engine engine) {
   return res.stats;
 }
 
+EngineResult run_reps(const GridPoint& pt, Engine engine) {
+  std::vector<RunStats> reps;
+  reps.reserve(kReps);
+  for (std::size_t i = 0; i < kReps; ++i) {
+    reps.push_back(run_point(pt, engine));
+    if (reps.back().cycles != reps.front().cycles ||
+        reps.back().messages != reps.front().messages) {
+      std::cerr << "BENCH FAILURE: nondeterministic accounting across reps "
+                   "at p="
+                << pt.p << " k=" << pt.k << "\n";
+      std::abort();
+    }
+  }
+  EngineResult r;
+  for (const auto& s : reps) r.wall_ns.push_back(s.sim_wall_ns);
+  auto by_wall = reps;  // median by wall clock; ties keep run order
+  std::sort(by_wall.begin(), by_wall.end(),
+            [](const RunStats& a, const RunStats& b) {
+              return a.sim_wall_ns < b.sim_wall_ns;
+            });
+  r.median = by_wall[by_wall.size() / 2];
+  return r;
+}
+
 std::string json_run_row(const Row& r, Engine engine) {
-  const RunStats& s = engine == Engine::kReference ? r.ref : r.event;
+  const EngineResult& er = engine == Engine::kReference ? r.ref : r.event;
+  const RunStats& s = er.median;
   std::ostringstream os;
   os << "    {\"bench\": \"" << r.pt.bench << "\", \"p\": " << r.pt.p
      << ", \"k\": " << r.pt.k << ", \"n\": " << r.pt.n << ", \"engine\": \""
@@ -65,17 +118,39 @@ std::string json_run_row(const Row& r, Engine engine) {
      << ", \"cycles\": " << s.cycles << ", \"messages\": " << s.messages
      << ", \"sim_wall_ns\": " << s.sim_wall_ns
      << ", \"proc_resumes\": " << s.proc_resumes
-     << ", \"cycles_per_sec\": " << s.cycles_per_sec << "}";
+     << ", \"cycles_per_sec\": " << s.cycles_per_sec
+     << ", \"frame_allocs\": " << s.frame_allocs
+     << ", \"frame_frees\": " << s.frame_frees
+     << ", \"arena_bytes_peak\": " << s.arena_bytes_peak
+     << ", \"arena_hit_rate\": " << s.arena_hit_rate
+     << ", \"wall_ns_reps\": [";
+  for (std::size_t i = 0; i < er.wall_ns.size(); ++i) {
+    os << (i ? ", " : "") << er.wall_ns[i];
+  }
+  os << "]}";
   return os.str();
 }
 
-void write_json(const std::vector<Row>& rows, const std::string& path) {
+void write_json(const std::vector<Row>& rows, const Row& headline,
+                const std::string& path) {
+  const bool arena_on = MCB_FRAME_ARENA_ENABLED != 0;
+  const double arena_speedup =
+      headline.event.median.sim_wall_ns == 0
+          ? 0.0
+          : static_cast<double>(kPr2EventWallNs) /
+                static_cast<double>(headline.event.median.sim_wall_ns);
+  const double hit_rate = headline.event.median.arena_hit_rate;
+  const bool arena_passed = arena_speedup >= kArenaRequiredSpeedup &&
+                            hit_rate > kArenaRequiredHitRate;
+  const bool ref_passed = headline.speedup() >= 5.0;
+
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot open " << path << " for writing\n";
     std::abort();
   }
-  out << "{\n  \"benchmark\": \"simspeed\",\n  \"runs\": [\n";
+  out << "{\n  \"benchmark\": \"simspeed\",\n  \"reps\": " << kReps
+      << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     out << json_run_row(rows[i], Engine::kReference) << ",\n";
     out << json_run_row(rows[i], Engine::kEventDriven)
@@ -88,7 +163,22 @@ void write_json(const std::vector<Row>& rows, const std::string& path) {
         << ", \"speedup\": " << rows[i].speedup() << "}"
         << (i + 1 < rows.size() ? ",\n" : "\n");
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"gates\": [\n"
+      << "    {\"name\": \"event_vs_reference\", \"bench\": \"selection\", "
+         "\"p\": 4096, \"k\": 4, \"required_speedup\": 5.0, \"measured\": "
+      << headline.speedup() << ", \"enforced\": true, \"passed\": "
+      << (ref_passed ? "true" : "false") << "},\n"
+      << "    {\"name\": \"arena_vs_pr2\", \"bench\": \"selection\", "
+         "\"p\": 4096, \"k\": 4, \"baseline_event_wall_ns\": "
+      << kPr2EventWallNs
+      << ", \"median_event_wall_ns\": " << headline.event.median.sim_wall_ns
+      << ", \"required_speedup\": " << kArenaRequiredSpeedup
+      << ", \"measured\": " << arena_speedup
+      << ", \"required_hit_rate\": " << kArenaRequiredHitRate
+      << ", \"arena_hit_rate\": " << hit_rate
+      << ", \"enforced\": " << (arena_on ? "true" : "false")
+      << ", \"passed\": " << (arena_passed ? "true" : "false") << "}\n"
+      << "  ]\n}\n";
 }
 
 }  // namespace
@@ -113,47 +203,78 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   section("simulator throughput: event-driven vs scan-the-world reference");
+  std::cout << "median of " << kReps << " reps per engine per point\n";
   util::Table t;
   t.header({"bench", "p", "k", "n", "cycles", "ref wall ms", "event wall ms",
-            "ref resumes", "event resumes", "event cyc/s", "speedup"});
+            "event resumes", "event cyc/s", "frame allocs", "hit rate",
+            "speedup"});
   for (const auto& pt : grid) {
-    Row r{pt, run_point(pt, Engine::kReference),
-          run_point(pt, Engine::kEventDriven)};
-    if (r.ref.cycles != r.event.cycles ||
-        r.ref.messages != r.event.messages) {
+    Row r{pt, run_reps(pt, Engine::kReference),
+          run_reps(pt, Engine::kEventDriven)};
+    if (r.ref.median.cycles != r.event.median.cycles ||
+        r.ref.median.messages != r.event.median.messages) {
       std::cerr << "BENCH FAILURE: engines disagree on accounting at p="
                 << pt.p << " k=" << pt.k << "\n";
       std::abort();
     }
     t.row({util::Table::txt(pt.bench), util::Table::num(pt.p),
            util::Table::num(pt.k), util::Table::num(pt.n),
-           util::Table::num(r.ref.cycles),
-           util::Table::num(static_cast<double>(r.ref.sim_wall_ns) / 1e6, 2),
-           util::Table::num(static_cast<double>(r.event.sim_wall_ns) / 1e6,
-                            2),
-           util::Table::num(r.ref.proc_resumes),
-           util::Table::num(r.event.proc_resumes),
-           util::Table::num(r.event.cycles_per_sec, 0),
+           util::Table::num(r.ref.median.cycles),
+           util::Table::num(
+               static_cast<double>(r.ref.median.sim_wall_ns) / 1e6, 2),
+           util::Table::num(
+               static_cast<double>(r.event.median.sim_wall_ns) / 1e6, 2),
+           util::Table::num(r.event.median.proc_resumes),
+           util::Table::num(r.event.median.cycles_per_sec, 0),
+           util::Table::num(r.event.median.frame_allocs),
+           util::Table::num(r.event.median.arena_hit_rate, 3),
            util::Table::num(r.speedup(), 2)});
     rows.push_back(std::move(r));
   }
   std::cout << t;
 
-  write_json(rows, json_path);
+  const Row* headline = nullptr;
+  for (const auto& r : rows) {
+    if (r.pt.bench == "selection" && r.pt.p == 4096) headline = &r;
+  }
+  if (headline == nullptr) {
+    std::cerr << "BENCH FAILURE: headline grid point missing\n";
+    return 1;
+  }
+
+  write_json(rows, *headline, json_path);
   std::cout << "\nwrote " << json_path << "\n";
 
-  // Guard the headline claim: the skip-heavy selection workload at p=4096,
-  // k=4 must run at least 5x faster under the event engine.
-  for (const auto& r : rows) {
-    if (r.pt.bench == "selection" && r.pt.p == 4096) {
-      if (r.speedup() < 5.0) {
-        std::cerr << "BENCH FAILURE: expected >= 5x speedup on selection "
-                     "p=4096 k=4, measured "
-                  << r.speedup() << "x\n";
-        return 1;
-      }
-      std::cout << "selection p=4096 k=4 speedup: " << r.speedup() << "x\n";
-    }
+  // Gate 1 (since PR 1): the skip-heavy selection workload at p=4096, k=4
+  // must run at least 5x faster under the event engine than the reference.
+  std::cout << "selection p=4096 k=4 event-vs-reference speedup: "
+            << headline->speedup() << "x (gate >= 5)\n";
+  if (headline->speedup() < 5.0) {
+    std::cerr << "BENCH FAILURE: expected >= 5x speedup on selection "
+                 "p=4096 k=4, measured "
+              << headline->speedup() << "x\n";
+    return 1;
+  }
+
+  // Gate 2 (since PR 3): the frame arena + wake wheel must beat the PR-2
+  // recorded event wall clock >= 1.3x with a > 0.9 steady-state hit rate.
+  const double arena_speedup =
+      static_cast<double>(kPr2EventWallNs) /
+      static_cast<double>(headline->event.median.sim_wall_ns);
+  std::cout << "selection p=4096 k=4 vs PR-2 baseline: " << arena_speedup
+            << "x (gate >= " << kArenaRequiredSpeedup
+            << "), arena hit rate " << headline->event.median.arena_hit_rate
+            << " (gate > " << kArenaRequiredHitRate << ")"
+            << (MCB_FRAME_ARENA_ENABLED ? "" : " [NOT ENFORCED: arena off]")
+            << "\n";
+  if (MCB_FRAME_ARENA_ENABLED &&
+      (arena_speedup < kArenaRequiredSpeedup ||
+       headline->event.median.arena_hit_rate <= kArenaRequiredHitRate)) {
+    std::cerr << "BENCH FAILURE: arena gate missed on selection p=4096 k=4 "
+                 "(speedup "
+              << arena_speedup << "x, hit rate "
+              << headline->event.median.arena_hit_rate << ")\n";
+    return 1;
   }
   return 0;
 }

@@ -32,28 +32,6 @@ std::size_t ceil_log2(std::size_t p) {
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 
-/// Burns exactly `pending + total` cycles, performing at most one channel
-/// action at in-level cycle `at` (ignored when at == SIZE_MAX). `pending`
-/// carries idle cycles accumulated from earlier all-idle levels, so a
-/// processor that sits out several consecutive tree levels sleeps through
-/// them in a single suspension; on return it holds the idle tail of this
-/// level (zero if the processor acted on the level's last cycle).
-Task<Proc::ReadResult> level_cycles(Proc& self, std::size_t total,
-                                    std::size_t at,
-                                    std::optional<WriteOp> write,
-                                    std::optional<ChannelId> read,
-                                    std::size_t& pending) {
-  Proc::ReadResult result;
-  if (at == SIZE_MAX || at >= total) {
-    pending += total;
-    co_return result;
-  }
-  if (pending + at > 0) co_await self.skip(pending + at);
-  result = co_await self.cycle(std::move(write), read);
-  pending = total - at - 1;
-  co_return result;
-}
-
 }  // namespace
 
 Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
@@ -79,7 +57,15 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
   val[0] = a_i;
   self.note_aux(val.size());
 
-  // Idle cycles owed to the schedule but not yet slept; see level_cycles.
+  // Idle cycles owed to the schedule but not yet slept. Each tree level
+  // burns exactly `cycles` cycles with at most one channel action at
+  // in-level cycle `at` (`at == SIZE_MAX` = idle level); idle cycles
+  // accumulate in `pending` so a processor that sits out several
+  // consecutive levels sleeps through them in a single suspension. The
+  // per-level step is written inline in both loops rather than as a helper
+  // coroutine: a helper frame per processor per level dominated the
+  // simulator's allocation profile (~90% of all coroutine frames), and most
+  // of those calls never suspended at all.
   std::size_t pending = 0;
 
   // --- bottom-up phase ------------------------------------------------------
@@ -106,8 +92,14 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
         read = static_cast<ChannelId>(father % k);
       }
     }
-    auto got = co_await level_cycles(self, cycles, at, std::move(write), read,
-                                     pending);
+    Proc::ReadResult got;
+    if (at == SIZE_MAX || at >= cycles) {
+      pending += cycles;
+    } else {
+      if (pending + at > 0) co_await self.skip(pending + at);
+      got = co_await self.cycle(std::move(write), read);
+      pending = cycles - at - 1;
+    }
     if (i % (stride * 2) == 0) {
       // Silence = dummy right subtree (p not a power of two) = identity.
       val[l + 1] = got ? op.combine(val[l], got->at(0)) : val[l];
@@ -146,8 +138,14 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
         receiving = true;
       }
     }
-    auto got = co_await level_cycles(self, cycles, at, std::move(write), read,
-                                     pending);
+    Proc::ReadResult got;
+    if (at == SIZE_MAX || at >= cycles) {
+      pending += cycles;
+    } else {
+      if (pending + at > 0) co_await self.skip(pending + at);
+      got = co_await self.cycle(std::move(write), read);
+      pending = cycles - at - 1;
+    }
     if (receiving) {
       MCB_CHECK(got.has_value(), "top-down message missing at P" << i + 1);
       f = got->at(0);

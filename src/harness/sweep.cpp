@@ -43,6 +43,10 @@ void fill_stats(TrialResult& r, const RunStats& stats) {
   r.peak_aux_words = stats.max_peak_aux();
   r.proc_resumes = stats.proc_resumes;
   r.sim_wall_ns = stats.sim_wall_ns;
+  r.frame_allocs = stats.frame_allocs;
+  r.frame_frees = stats.frame_frees;
+  r.arena_bytes_peak = stats.arena_bytes_peak;
+  r.arena_hit_rate = stats.arena_hit_rate;
 }
 
 double mean_ratio(const std::vector<double>& measured,
@@ -268,6 +272,10 @@ std::string sweep_json(const SweepRun& run) {
        << ", \"messages\": " << res.messages
        << ", \"peak_aux_words\": " << res.peak_aux_words
        << ", \"proc_resumes\": " << res.proc_resumes
+       << ", \"frame_allocs\": " << res.frame_allocs
+       << ", \"frame_frees\": " << res.frame_frees
+       << ", \"arena_bytes_peak\": " << res.arena_bytes_peak
+       << ", \"arena_hit_rate\": " << fmt(res.arena_hit_rate)
        << ", \"predicted_cycles\": " << fmt(res.predicted_cycles)
        << ", \"predicted_messages\": " << fmt(res.predicted_messages)
        << ", \"error\": \"" << util::json_escape(res.error) << "\"}"

@@ -94,6 +94,13 @@ struct TrialResult {
   std::size_t peak_aux_words = 0;
   std::uint64_t proc_resumes = 0;
   std::uint64_t sim_wall_ns = 0;
+  /// Frame-arena telemetry. Deterministic given the spec (the trial's
+  /// coroutine execution is) — so these ARE serialized, unlike sim_wall_ns.
+  /// Zero in MCB_FRAME_ARENA=OFF builds.
+  std::uint64_t frame_allocs = 0;
+  std::uint64_t frame_frees = 0;
+  std::uint64_t arena_bytes_peak = 0;
+  double arena_hit_rate = 0.0;
   /// Theta-term predictions from theory/bounds for this point's geometry.
   double predicted_cycles = 0.0;
   double predicted_messages = 0.0;

@@ -27,9 +27,11 @@
 
 #include <coroutine>
 #include <exception>
-#include <optional>
+#include <new>
 #include <type_traits>
 #include <utility>
+
+#include "util/arena.hpp"
 
 namespace mcb {
 
@@ -39,6 +41,27 @@ template <typename T>
 class Task;
 
 namespace detail {
+
+/// Mixed into every promise type so coroutine frames allocate from the
+/// thread-local frame arena (util/arena.hpp) when one is installed —
+/// Network::run() installs its own — and from global new otherwise. The
+/// per-frame header written by frame_allocate routes the matching delete,
+/// so frames may legally outlive the arena *scope* (e.g. a suspended
+/// program destroyed by ~Network after run() returned). Compiled out by
+/// -DMCB_FRAME_ARENA=OFF, which falls back to global new/delete frames.
+struct FrameAlloc {
+#if MCB_FRAME_ARENA_ENABLED
+  static void* operator new(std::size_t bytes) {
+    return util::frame_allocate(bytes);
+  }
+  static void operator delete(void* p) noexcept {
+    util::frame_deallocate(p);
+  }
+  static void operator delete(void* p, std::size_t) noexcept {
+    util::frame_deallocate(p);
+  }
+#endif
+};
 
 /// Final awaiter of Task<T>: symmetric transfer back to the awaiting parent.
 struct TaskFinalAwaiter {
@@ -53,7 +76,7 @@ struct TaskFinalAwaiter {
 };
 
 template <typename T>
-struct TaskPromiseBase {
+struct TaskPromiseBase : FrameAlloc {
   std::coroutine_handle<> continuation = nullptr;
   std::exception_ptr exception;
 
@@ -62,11 +85,30 @@ struct TaskPromiseBase {
   void unhandled_exception() noexcept { exception = std::current_exception(); }
 };
 
+/// The result lives in raw storage with an engaged flag instead of a
+/// std::optional<T>: the value is written exactly once (return_value) and
+/// moved out exactly once (await_resume), so the optional's re-engagement
+/// machinery is pure overhead on a path executed once per co_await.
 template <typename T>
 struct TaskPromise final : TaskPromiseBase<T> {
-  std::optional<T> value;
+  alignas(T) unsigned char storage[sizeof(T)];
+  bool engaged = false;
+
+  TaskPromise() noexcept {}
+  ~TaskPromise() {
+    if (engaged) result().~T();
+  }
+  TaskPromise(const TaskPromise&) = delete;
+  TaskPromise& operator=(const TaskPromise&) = delete;
+
+  T& result() noexcept {
+    return *std::launder(reinterpret_cast<T*>(storage));
+  }
   Task<T> get_return_object();
-  void return_value(T v) { value.emplace(std::move(v)); }
+  void return_value(T v) {
+    ::new (static_cast<void*>(storage)) T(std::move(v));
+    engaged = true;
+  }
 };
 
 template <>
@@ -113,7 +155,7 @@ class [[nodiscard]] Task {
       std::rethrow_exception(h_.promise().exception);
     }
     if constexpr (!std::is_void_v<T>) {
-      return std::move(*h_.promise().value);
+      return std::move(h_.promise().result());
     }
   }
 
@@ -139,7 +181,7 @@ inline Task<void> TaskPromise<void>::get_return_object() {
 /// function, then installed into a Network which drives it cycle by cycle.
 class [[nodiscard]] ProcMain {
  public:
-  struct promise_type {
+  struct promise_type : detail::FrameAlloc {
     Proc* proc = nullptr;  // wired up by Network::install
     std::exception_ptr exception;
 

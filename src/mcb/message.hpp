@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <concepts>
 #include <cstddef>
 #include <initializer_list>
@@ -45,9 +46,16 @@ class Message {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Bounds-checked word access.
+  /// Bounds-checked word access; throws std::invalid_argument out of range.
+  /// Protocol code validating a received message belongs here.
   Word at(std::size_t i) const;
-  Word operator[](std::size_t i) const { return at(i); }
+
+  /// Unchecked word access for hot-path code whose index is structurally
+  /// valid (asserts in debug builds only). Use at() on untrusted indices.
+  Word operator[](std::size_t i) const {
+    assert(i < size_);
+    return words_[i];
+  }
 
   /// Appends one word; throws std::invalid_argument past kMaxWords.
   void push(Word w);

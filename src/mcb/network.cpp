@@ -107,6 +107,12 @@ RunStats Network::run() {
               "every processor needs a program before run()");
   ran_ = true;
 
+  // Route coroutine frame allocations (Task subroutine frames created by
+  // protocol code from here on) through this network's arena. The scope
+  // nests, so a hosted Network run inside a program restores the outer
+  // arena when it finishes. No-op layout-wise under MCB_FRAME_ARENA=OFF.
+  util::FrameArenaScope frame_scope(&arena_);
+
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Initial resume: run every program up to its first cycle boundary.
@@ -136,6 +142,14 @@ RunStats Network::run() {
       wall_ns > 0 ? static_cast<double>(stats_.cycles) * 1e9 /
                         static_cast<double>(wall_ns)
                   : 0.0;
+
+  // Allocation telemetry (host-side, like sim_wall_ns; all zero under
+  // MCB_FRAME_ARENA=OFF where frames go through plain global new).
+  const util::ArenaStats& as = arena_.stats();
+  stats_.frame_allocs = as.allocs;
+  stats_.frame_frees = as.frees;
+  stats_.arena_bytes_peak = as.bytes_peak;
+  stats_.arena_hit_rate = as.hit_rate();
   return stats_;
 }
 
@@ -226,7 +240,8 @@ void Network::run_event_loop() {
     sched_.clear_dirty();
     sched_.clear_active();
     ++now_;
-    for (Proc* pr : sched_.drain_due(now_)) {
+    for (const Scheduler::Entry& e : sched_.drain_due(now_)) {
+      Proc* pr = e.proc;
       pr->pending_write_.reset();
       pr->pending_read_.reset();
       pr->pending_read_all_ = false;

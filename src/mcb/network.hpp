@@ -38,6 +38,7 @@
 #include "mcb/sim_config.hpp"
 #include "mcb/stats.hpp"
 #include "mcb/trace.hpp"
+#include "util/arena.hpp"
 
 namespace mcb {
 
@@ -91,6 +92,13 @@ class Network {
 
   SimConfig cfg_;
   TraceSink* sink_;
+
+  // Frame arena for this network's coroutine frames, installed thread_local
+  // for the duration of run(). Declared before programs_ so it is destroyed
+  // after them: destroying a suspended program (e.g. after a CollisionError
+  // aborted the run) frees its in-scope Task frames back into this arena.
+  util::FrameArena arena_;
+
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<ProcMain> programs_;  // parallel to procs_; keeps frames alive
   std::vector<bool> installed_;

@@ -7,7 +7,9 @@
 // suspension cost O(1) amortized and lets the network iterate only over the
 // processors that actually participate in the cycle in flight.
 //
-// The wake queue is a two-tier bucket queue keyed on the wake cycle:
+// The wake queue is a three-tier structure keyed on the wake cycle — a
+// hierarchical bucket wheel in the calendar-queue tradition of discrete-event
+// simulators:
 //
 //   * next bucket — processors waking exactly one cycle ahead (every channel
 //     op, and skip(1)). This is the hot path: pushes happen in processor-id
@@ -15,11 +17,22 @@
 //     id-sorted by construction and push/pop are O(1). A binary heap here
 //     measurably dominates simulation time (an O(log p) sift per resume,
 //     tens of millions of times per run).
-//   * far buckets  — processors sleeping more than one cycle, grouped by
-//     wake cycle in an ordered map. Skips are rarer than channel ops, and
-//     each sleeping processor costs O(log #distinct-wake-cycles) once, not
-//     O(sleep length). A far bucket merging into a drain is sorted by id
-//     then, restoring the reference engine's deterministic resume order.
+//   * wheel       — kWheelSize buckets indexed by wake & kWheelMask, holding
+//     wakes within the next kWheelSize cycles. Registration is one push_back
+//     into an array slot — O(1), no node allocation, no tree rebalancing —
+//     and bucket vectors are recycled drain over drain (clear keeps
+//     capacity). Slot residency is unambiguous: every pending wheel wake
+//     lies in (now, now + kWheelSize], a window of exactly kWheelSize
+//     cycles, so distinct pending wakes never share a slot and a drained
+//     bucket contains only entries due that very cycle.
+//   * spill heap  — wakes beyond the wheel horizon, in a binary min-heap on
+//     the wake cycle. Only very long skips land here (O(log #spilled) each);
+//     entries stay in the heap until their cycle comes due — no migration
+//     pass when the horizon advances past them.
+//
+// A drain that merged wheel or spill entries is re-sorted by processor id,
+// restoring the reference engine's deterministic resume order (the previous
+// ordered-map far queue needed the same sort; see docs/ENGINE.md).
 //
 // Two more lists let the run loop touch only what changed:
 //
@@ -30,14 +43,14 @@
 //     slots is O(writes), not O(k).
 //
 // Invariants (see docs/ENGINE.md): every live suspended processor sits in
-// exactly one bucket; the active list holds exactly the processors whose
+// exactly one tier; the active list holds exactly the processors whose
 // wake cycle is now+1 *and* that registered a channel intent; a cycle whose
 // drain would be empty is observationally silent and may be skipped
 // wholesale (idle-cycle fast-forward).
 #pragma once
 
+#include <array>
 #include <cstddef>
-#include <map>
 #include <vector>
 
 #include "mcb/types.hpp"
@@ -48,6 +61,11 @@ class Proc;
 
 class Scheduler {
  public:
+  struct Entry {
+    ProcId id;
+    Proc* proc;
+  };
+
   Scheduler(std::size_t p, std::size_t k);
 
   // --- wake queue ---------------------------------------------------------
@@ -55,21 +73,32 @@ class Scheduler {
   /// Registers `pr` (suspended at cycle `now`) to be resumed at `wake`,
   /// with wake >= now + 1. A processor is scheduled at most once at a time
   /// (it is suspended at a single awaiter).
-  void schedule_wake(Proc* pr, ProcId id, Cycle wake, Cycle now);
-
-  bool queue_empty() const { return next_bucket_.empty() && far_.empty(); }
-
-  /// Earliest pending wake cycle given the current cycle `now`. Requires a
-  /// non-empty queue.
-  Cycle next_wake(Cycle now) const {
-    return next_bucket_.empty() ? far_.begin()->first : now + 1;
+  void schedule_wake(Proc* pr, ProcId id, Cycle wake, Cycle now) {
+    ++pending_;
+    const Cycle ahead = wake - now;
+    if (ahead == 1) {
+      next_bucket_.push_back(Entry{id, pr});
+    } else if (ahead <= kWheelSize) {
+      wheel_[wake & kWheelMask].push_back(Entry{id, pr});
+      ++wheel_count_;
+    } else {
+      push_spill(Entry{id, pr}, wake);
+    }
   }
 
+  bool queue_empty() const { return pending_ == 0; }
+
+  /// Earliest pending wake cycle given the current cycle `now`. Requires a
+  /// non-empty queue. O(1) on the hot path (next bucket occupied); at most
+  /// kWheelSize slot probes otherwise — only on idle-cycle fast-forwards,
+  /// which are rare by definition.
+  Cycle next_wake(Cycle now) const;
+
   /// Collects every processor due at `now` in processor-id order. The
-  /// returned list is valid until the next drain; processors re-scheduling
-  /// themselves while the caller iterates it land in fresh buckets and are
-  /// never part of the same drain.
-  const std::vector<Proc*>& drain_due(Cycle now);
+  /// returned entries are valid until the next drain; processors
+  /// re-scheduling themselves while the caller iterates land in fresh
+  /// buckets and are never part of the same drain.
+  const std::vector<Entry>& drain_due(Cycle now);
 
   // --- active list (participants of the cycle in flight) ------------------
 
@@ -87,15 +116,22 @@ class Scheduler {
   void clear_dirty() { dirty_.clear(); }
 
  private:
-  struct Entry {
-    ProcId id;
-    Proc* proc;
+  static constexpr std::size_t kWheelSize = 64;
+  static constexpr Cycle kWheelMask = kWheelSize - 1;
+
+  struct SpillEntry {
+    Cycle wake;
+    Entry entry;
   };
 
-  std::vector<Entry> next_bucket_;        ///< wakes at (drain cycle)+1
-  std::map<Cycle, std::vector<Entry>> far_;  ///< wakes further out
-  std::vector<Entry> drain_entries_;      ///< scratch, swapped with next
-  std::vector<Proc*> drained_;            ///< what drain_due returns
+  void push_spill(Entry e, Cycle wake);
+
+  std::vector<Entry> next_bucket_;  ///< wakes at (drain cycle)+1
+  std::array<std::vector<Entry>, kWheelSize> wheel_;
+  std::size_t wheel_count_ = 0;     ///< entries across all wheel buckets
+  std::vector<SpillEntry> spill_;   ///< min-heap on wake, beyond the wheel
+  std::size_t pending_ = 0;         ///< entries across all three tiers
+  std::vector<Entry> drain_entries_;  ///< scratch, swapped with next bucket
   std::vector<Proc*> active_;
   std::vector<ChannelId> dirty_;
 };

@@ -19,6 +19,11 @@ std::string RunStats::summary() const {
     os << "  sim_wall_ns=" << sim_wall_ns << " proc_resumes=" << proc_resumes
        << " cycles_per_sec=" << cycles_per_sec << '\n';
   }
+  if (frame_allocs > 0) {
+    os << "  frame_allocs=" << frame_allocs << " frame_frees=" << frame_frees
+       << " arena_bytes_peak=" << arena_bytes_peak
+       << " arena_hit_rate=" << arena_hit_rate << '\n';
+  }
   for (const auto& ph : phases) {
     os << "  phase " << ph.name << ": cycles=" << ph.cycles
        << " messages=" << ph.messages << '\n';

@@ -34,6 +34,13 @@ struct RunStats {
   std::uint64_t proc_resumes = 0;  ///< coroutine resumptions performed
   double cycles_per_sec = 0.0;     ///< simulated cycles per host second
 
+  // Frame-arena telemetry (util/arena.hpp): coroutine frames allocated by
+  // this run's protocol code. All zero under MCB_FRAME_ARENA=OFF.
+  std::uint64_t frame_allocs = 0;      ///< frames served by the arena
+  std::uint64_t frame_frees = 0;       ///< frames recycled into the arena
+  std::uint64_t arena_bytes_peak = 0;  ///< peak live frame bytes
+  double arena_hit_rate = 0.0;         ///< free-list reuse fraction [0, 1]
+
   /// Largest per-processor auxiliary storage over the whole run.
   std::size_t max_peak_aux() const {
     std::size_t m = 0;

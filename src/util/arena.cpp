@@ -1,0 +1,99 @@
+#include "util/arena.hpp"
+
+#include <new>
+
+#include "util/check.hpp"
+
+namespace mcb::util {
+
+namespace {
+
+/// Prefix of every frame allocation; 16 bytes keeps the frame itself on the
+/// default new alignment.
+struct alignas(16) FrameHeader {
+  FrameArena* arena;  ///< nullptr: block came from global operator new
+  std::size_t cls;    ///< size class (meaningful only when arena != nullptr)
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+thread_local FrameArena* tl_current_arena = nullptr;
+
+}  // namespace
+
+FrameArena::~FrameArena() {
+  for (void* slab : slabs_) {
+    ::operator delete(slab);
+  }
+}
+
+void* FrameArena::allocate_class(std::size_t cls) {
+  MCB_CHECK(cls < kNumClasses, "size class " << cls << " out of range");
+  const std::size_t bytes = class_bytes(cls);
+  ++stats_.allocs;
+  stats_.bytes_live += bytes;
+  if (stats_.bytes_live > stats_.bytes_peak) {
+    stats_.bytes_peak = stats_.bytes_live;
+  }
+
+  if (FreeNode* node = free_heads_[cls]) {
+    free_heads_[cls] = node->next;
+    ++stats_.reuses;
+    return node;
+  }
+  if (remaining_ < bytes) {
+    ++stats_.slab_allocs;
+    slabs_.push_back(::operator new(kSlabBytes));
+    bump_ = static_cast<std::byte*>(slabs_.back());
+    remaining_ = kSlabBytes;
+  }
+  void* block = bump_;
+  bump_ += bytes;
+  remaining_ -= bytes;
+  return block;
+}
+
+void FrameArena::deallocate_class(void* block, std::size_t cls) {
+  ++stats_.frees;
+  stats_.bytes_live -= class_bytes(cls);
+  auto* node = static_cast<FreeNode*>(block);
+  node->next = free_heads_[cls];
+  free_heads_[cls] = node;
+}
+
+FrameArena* current_frame_arena() noexcept { return tl_current_arena; }
+
+FrameArenaScope::FrameArenaScope(FrameArena* arena) noexcept
+    : prev_(tl_current_arena) {
+  tl_current_arena = arena;
+}
+
+FrameArenaScope::~FrameArenaScope() { tl_current_arena = prev_; }
+
+void* frame_allocate(std::size_t bytes) {
+  const std::size_t total = bytes + sizeof(FrameHeader);
+  FrameArena* arena = tl_current_arena;
+  FrameHeader* header;
+  if (arena != nullptr && total <= FrameArena::kMaxClassBytes) {
+    const std::size_t cls = FrameArena::class_of(total);
+    header = static_cast<FrameHeader*>(arena->allocate_class(cls));
+    header->arena = arena;
+    header->cls = cls;
+  } else {
+    header = static_cast<FrameHeader*>(::operator new(total));
+    header->arena = nullptr;
+    header->cls = 0;
+  }
+  return header + 1;
+}
+
+void frame_deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  FrameHeader* header = static_cast<FrameHeader*>(p) - 1;
+  if (header->arena != nullptr) {
+    header->arena->deallocate_class(header, header->cls);
+  } else {
+    ::operator delete(header);
+  }
+}
+
+}  // namespace mcb::util

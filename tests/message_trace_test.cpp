@@ -35,6 +35,27 @@ TEST(MessageTest, OutOfRangeAccessThrows) {
   EXPECT_THROW(m.at(1), std::invalid_argument);
 }
 
+TEST(MessageTest, ProtocolsStillRejectShortMessagesViaAt) {
+  // operator[] is now unchecked (assert-only) for hot-path code, so
+  // protocol-level validation of a received message MUST go through at().
+  // A protocol expecting a (median, count) pair but receiving a single
+  // word still fails loudly, and the error surfaces out of Network::run.
+  Network net({.p = 2, .k = 1});
+  auto writer = [](Proc& self) -> ProcMain {
+    co_await self.write(0, Message::of(Word{5}));  // one word, not two
+  };
+  auto reader = [](Proc& self) -> ProcMain {
+    auto got = co_await self.read(0);
+    if (got) {
+      [[maybe_unused]] Word median = got->at(0);
+      [[maybe_unused]] Word count = got->at(1);  // out of range: throws
+    }
+  };
+  net.install(0, writer(net.proc(0)));
+  net.install(1, reader(net.proc(1)));
+  EXPECT_THROW(net.run(), std::invalid_argument);
+}
+
 TEST(MessageTest, Equality) {
   EXPECT_EQ(Message::of(Word{1}, Word{2}), (Message{1, 2}));
   EXPECT_NE(Message::of(Word{1}), (Message{1, 0}));  // size matters

@@ -89,6 +89,75 @@ TEST(NetworkFuzzTest, RandomCollisionFreeSchedules) {
   }
 }
 
+// Same step semantics as scripted(), but every step runs inside a
+// two-deep Task chain, so each simulated cycle allocates and frees a pair
+// of coroutine frames. Random schedules through this variant are the
+// fuzzing pressure on the frame arena's recycling (util/arena.hpp) — the
+// ASan+UBSan CI configuration runs it with the arena ON, its default.
+Task<Proc::ReadResult> tasked_step_inner(Proc& self, const Step& step) {
+  std::optional<WriteOp> w;
+  if (step.write) {
+    w = WriteOp{step.write->first, Message::of(step.write->second)};
+  }
+  co_return co_await self.cycle(std::move(w), step.read);
+}
+
+Task<Proc::ReadResult> tasked_step(Proc& self, const Step& step) {
+  co_return co_await tasked_step_inner(self, step);
+}
+
+ProcMain scripted_tasked(Proc& self, const Script& script,
+                         std::size_t& failures) {
+  for (const auto& step : script) {
+    auto got = co_await tasked_step(self, step);
+    if (step.read) {
+      const bool ok = step.expect
+                          ? (got.has_value() && got->at(0) == *step.expect)
+                          : !got.has_value();
+      if (!ok) ++failures;
+    }
+  }
+}
+
+TEST(NetworkFuzzTest, TaskHeavySchedulesRecycleFrames) {
+  util::Xoshiro256StarStar rng(0xf8a3e);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto p = static_cast<std::size_t>(rng.uniform(1, 12));
+    const auto k =
+        static_cast<std::size_t>(rng.uniform(1, static_cast<int>(p)));
+    const auto cycles = static_cast<std::size_t>(rng.uniform(1, 60));
+
+    // One writer per cycle on a rotating channel; everyone else reads it.
+    std::vector<Script> scripts(p, Script(cycles));
+    for (std::size_t t = 0; t < cycles; ++t) {
+      const std::size_t writer = t % p;
+      const auto ch = static_cast<ChannelId>(t % k);
+      const Word value = rng.uniform(-1000, 1000);
+      scripts[writer][t].write = {{ch, value}};
+      for (std::size_t i = 0; i < p; ++i) {
+        if (i == writer) continue;
+        scripts[i][t].read = ch;
+        scripts[i][t].expect = value;
+      }
+    }
+
+    Network net({.p = p, .k = k});
+    std::size_t failures = 0;
+    for (ProcId i = 0; i < p; ++i) {
+      net.install(i, scripted_tasked(net.proc(i), scripts[i], failures));
+    }
+    auto stats = net.run();
+    EXPECT_EQ(failures, 0u) << "trial " << trial << " p=" << p << " k=" << k;
+    EXPECT_EQ(stats.cycles, cycles);
+    EXPECT_EQ(stats.messages, cycles);
+#if MCB_FRAME_ARENA_ENABLED
+    // Two Task frames per processor per cycle, all recycled by run's end.
+    EXPECT_GE(stats.frame_allocs, 2 * p * cycles);
+    EXPECT_EQ(stats.frame_allocs, stats.frame_frees);
+#endif
+  }
+}
+
 TEST(NetworkFuzzTest, RandomCollisionsAlwaysDetected) {
   util::Xoshiro256StarStar rng(0xbad);
   for (int trial = 0; trial < 20; ++trial) {

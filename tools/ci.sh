@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
-# CI driver: builds the optimised and sanitizer configurations and runs the
-# full test suite under both. The coroutine scheduler (src/mcb/scheduler.*,
-# Network::run_event_loop) is pointer-heavy and lifetime-sensitive, so every
-# change is exercised under ASan+UBSan, not just the optimised build.
+# CI driver: builds the optimised, sanitizer and arena-fallback
+# configurations and runs the full test suite under each. The coroutine
+# scheduler (src/mcb/scheduler.*, Network::run_event_loop) and the frame
+# arena (src/util/arena.*) are pointer-heavy and lifetime-sensitive, so
+# every change is exercised under ASan+UBSan — with the arena ON, its
+# default — not just the optimised build; the MCB_FRAME_ARENA=OFF preset
+# proves the global-new fallback builds and passes the same suite.
+#
+# After the suites, the bench gates run on the release build. Every
+# BENCH_*.json records its gates with an "enforced" flag (a gate is
+# unenforced when the machine cannot express it, e.g. the parallel-sweep
+# speedup on < 4 hardware threads, or the arena gate in an arena-off
+# build); enforced gates fail the bench binary — and this script — while
+# unenforced ones are surfaced as a visible WARNING instead of silently
+# recording "enforced": false.
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+WARNINGS=0
 
 run_preset() {
   local preset="$1"
@@ -23,7 +35,8 @@ run_preset() {
   # grid on several workers, plus the determinism contract (the JSON output
   # must not depend on the thread count). The harness itself needs no TSan
   # run — trials share nothing (see src/harness/thread_pool.hpp) — but the
-  # ASan+UBSan pass covers the pool's lifetime handling.
+  # ASan+UBSan pass covers the pool's lifetime handling, and with the frame
+  # arena on it also covers the per-trial thread_local arena install.
   echo "=== [$preset] sweep smoke ==="
   "$builddir/tools/mcbsim" sweep --p 4,8 --k 2 --n 64,128 \
     --shapes even,random --algorithms auto,select --seeds 2 --threads 4
@@ -34,7 +47,38 @@ run_preset() {
   cmp "$builddir/sweep_t1.json" "$builddir/sweep_t4.json"
 }
 
+# Scans a bench JSON for gates recorded as unenforced and shouts about them:
+# an unenforced gate means this machine validated nothing, which must be
+# visible in the log, not buried in the artifact.
+check_gates() {
+  local json="$1"
+  [ -f "$json" ] || { echo "WARNING: bench artifact $json missing" >&2;
+                      WARNINGS=$((WARNINGS + 1)); return 0; }
+  if grep -q '"enforced": false' "$json"; then
+    echo "WARNING: $json contains UNENFORCED bench gate(s) — this machine" \
+         "did not validate them (see the gate entries below)" >&2
+    grep -o '{[^{}]*"enforced": false[^{}]*}' "$json" >&2 || true
+    WARNINGS=$((WARNINGS + 1))
+  fi
+}
+
 run_preset release build-release
 run_preset asan-ubsan build-asan
+run_preset noarena build-noarena
 
-echo "CI OK: release + asan-ubsan suites and sweep smoke passed"
+# Bench gates on the optimised build. The binaries exit non-zero when an
+# enforced gate fails, which aborts CI via set -e; unenforced gates only
+# warn (check_gates below).
+echo "=== bench gates (release) ==="
+./build-release/bench/bench_simspeed build-release/BENCH_simspeed.json
+./build-release/bench/bench_sweep build-release/BENCH_sweep.json
+check_gates build-release/BENCH_simspeed.json
+check_gates build-release/BENCH_sweep.json
+
+if [ "$WARNINGS" -gt 0 ]; then
+  echo "CI OK with $WARNINGS WARNING(s): release + asan-ubsan + noarena" \
+       "suites and sweep smoke passed; some bench gates were not enforced"
+else
+  echo "CI OK: release + asan-ubsan + noarena suites, sweep smoke and all" \
+       "bench gates passed"
+fi

@@ -67,7 +67,11 @@ void print_stats_json(const RunStats& stats, std::ostream& os) {
      << ",\"peak_aux_words\":" << stats.max_peak_aux()
      << ",\"sim_wall_ns\":" << stats.sim_wall_ns
      << ",\"proc_resumes\":" << stats.proc_resumes
-     << ",\"cycles_per_sec\":" << stats.cycles_per_sec << ",\"phases\":[";
+     << ",\"cycles_per_sec\":" << stats.cycles_per_sec
+     << ",\"frame_allocs\":" << stats.frame_allocs
+     << ",\"frame_frees\":" << stats.frame_frees
+     << ",\"arena_bytes_peak\":" << stats.arena_bytes_peak
+     << ",\"arena_hit_rate\":" << stats.arena_hit_rate << ",\"phases\":[";
   for (std::size_t i = 0; i < stats.phases.size(); ++i) {
     const auto& ph = stats.phases[i];
     if (i) os << ',';
