@@ -1,0 +1,385 @@
+#include "check/conformance.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "theory/bounds.hpp"
+#include "util/json.hpp"
+
+namespace mcb::check {
+
+namespace {
+
+/// Slack for comparing integer totals against the double-valued bound
+/// expressions (which involve log2) without false positives.
+constexpr double kBoundsEpsilon = 1e-6;
+
+std::string proc_list(const std::vector<ProcId>& procs) {
+  std::string out;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    out += std::string(i ? ", P" : "P") + std::to_string(procs[i] + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* rule_id(Rule r) {
+  switch (r) {
+    case Rule::kWritePerProc: return "MCB-W1";
+    case Rule::kReadPerProc: return "MCB-R1";
+    case Rule::kCollision: return "MCB-C1";
+    case Rule::kValue: return "MCB-V1";
+    case Rule::kMultiRead: return "MCB-X1";
+    case Rule::kStream: return "MCB-E1";
+    case Rule::kStats: return "MCB-S1";
+    case Rule::kBounds: return "MCB-B1";
+  }
+  return "MCB-??";
+}
+
+const char* rule_summary(Rule r) {
+  switch (r) {
+    case Rule::kWritePerProc:
+      return "a processor may write at most one channel per cycle";
+    case Rule::kReadPerProc:
+      return "a processor may read at most once per cycle";
+    case Rule::kCollision:
+      return "two writers on one channel in one cycle is a collision";
+    case Rule::kValue:
+      return "a read observes exactly the message written that cycle";
+    case Rule::kMultiRead:
+      return "multi-read requires the Section 9 extension to be enabled";
+    case Rule::kStream:
+      return "the event stream is well-formed and cycle-monotone";
+    case Rule::kStats:
+      return "RunStats totals match the independently counted totals";
+    case Rule::kBounds:
+      return "totals cannot beat the paper's lower bounds";
+  }
+  return "unknown rule";
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "conformance: OK — " << cycles_checked << " cycles, " << events
+       << " events, " << messages << " messages, " << reads
+       << " reads re-validated, 0 violations\n";
+    return os.str();
+  }
+  os << "conformance: FAILED — " << total_violations << " violation(s) over "
+     << cycles_checked << " cycles (" << violations.size() << " recorded)\n";
+  for (const auto& v : violations) {
+    os << "  [" << rule_id(v.rule) << "] cycle " << v.cycle;
+    if (v.channel) os << " C" << *v.channel + 1;
+    if (!v.procs.empty()) os << " " << proc_list(v.procs);
+    os << ": " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+std::string Report::json() const {
+  std::ostringstream os;
+  os << "{\"ok\": " << (ok() ? "true" : "false")
+     << ", \"cycles_checked\": " << cycles_checked
+     << ", \"events\": " << events << ", \"messages\": " << messages
+     << ", \"reads\": " << reads
+     << ", \"total_violations\": " << total_violations
+     << ", \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const auto& v = violations[i];
+    os << (i ? ", " : "") << "{\"rule\": \"" << rule_id(v.rule)
+       << "\", \"summary\": \"" << util::json_escape(rule_summary(v.rule))
+       << "\", \"cycle\": " << v.cycle << ", \"channel\": ";
+    if (v.channel) {
+      os << *v.channel;
+    } else {
+      os << "null";
+    }
+    os << ", \"procs\": [";
+    for (std::size_t j = 0; j < v.procs.size(); ++j) {
+      os << (j ? ", " : "") << v.procs[j];
+    }
+    os << "], \"detail\": \"" << util::json_escape(v.detail) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+ConformanceChecker::ConformanceChecker(const SimConfig& cfg, TraceSink* next)
+    : cfg_(cfg), next_(next) {
+  cfg_.validate();
+  messages_per_proc_.assign(cfg_.p, 0);
+  messages_per_channel_.assign(cfg_.k, 0);
+}
+
+void ConformanceChecker::expect_sorting_bounds(std::vector<std::size_t> sizes) {
+  bounds_ = BoundsKind::kSorting;
+  sizes_ = std::move(sizes);
+}
+
+void ConformanceChecker::expect_selection_bounds(std::vector<std::size_t> sizes,
+                                                 std::size_t d) {
+  bounds_ = BoundsKind::kSelection;
+  sizes_ = std::move(sizes);
+  rank_d_ = d;
+}
+
+void ConformanceChecker::add(Rule rule, Cycle cycle,
+                             std::optional<ChannelId> channel,
+                             std::vector<ProcId> procs, std::string detail) {
+  ++report_.total_violations;
+  if (report_.violations.size() < Report::kMaxRecorded) {
+    report_.violations.push_back(Violation{rule, cycle, channel,
+                                           std::move(procs),
+                                           std::move(detail)});
+  }
+}
+
+void ConformanceChecker::on_event(const CycleEvent& ev) {
+  ++report_.events;
+  if (cycle_open_ && ev.cycle != cur_cycle_) {
+    if (ev.cycle < cur_cycle_) {
+      add(Rule::kStream, ev.cycle, std::nullopt, {ev.proc},
+          std::string("event for cycle ") + std::to_string(ev.cycle) +
+              " arrived after cycle " + std::to_string(cur_cycle_) +
+              " (stream not cycle-monotone)");
+    }
+    flush_cycle();
+  }
+  if (!cycle_open_) {
+    cycle_open_ = true;
+    cur_cycle_ = ev.cycle;
+  }
+  cur_.push_back(ev);
+  if (next_ != nullptr) next_->on_event(ev);
+}
+
+// Validates the buffered cycle as a unit: writes first (collision + channel
+// contents), then every read against those contents. Mirrors the engines'
+// write-then-read cycle structure, but derived purely from the events.
+void ConformanceChecker::flush_cycle() {
+  if (!cycle_open_) return;
+  ++report_.cycles_checked;
+  last_event_cycle_ = cur_cycle_;
+  saw_events_ = true;
+
+  // Per-cycle channel and per-processor scratch. Sized by the model's
+  // static geometry; rebuilt per flushed cycle (the checker is diagnostic
+  // instrumentation, not the simulation hot path).
+  std::vector<std::uint8_t> chan_written(cfg_.k, 0);
+  std::vector<ProcId> chan_writer(cfg_.k, 0);
+  std::vector<const Message*> chan_msg(cfg_.k, nullptr);
+  std::vector<std::uint8_t> chan_collided(cfg_.k, 0);
+  std::vector<std::uint32_t> proc_writes(cfg_.p, 0);
+  std::vector<std::uint32_t> proc_reads(cfg_.p, 0);
+
+  // Pass 1: writes.
+  for (const CycleEvent& ev : cur_) {
+    if (ev.proc >= cfg_.p) {
+      add(Rule::kStream, cur_cycle_, std::nullopt, {},
+          std::string("processor id ") + std::to_string(ev.proc) +
+              " out of range (p=" +
+              std::to_string(cfg_.p) + ")");
+      continue;
+    }
+    if (!ev.wrote) {
+      if (ev.sent) {
+        add(Rule::kStream, cur_cycle_, std::nullopt, {ev.proc},
+            "event carries a sent message but no written channel");
+      }
+      continue;
+    }
+    if (*ev.wrote >= cfg_.k) {
+      add(Rule::kStream, cur_cycle_, *ev.wrote, {ev.proc},
+          std::string("written channel id out of range (k=") +
+              std::to_string(cfg_.k) + ")");
+      continue;
+    }
+    if (!ev.sent) {
+      add(Rule::kStream, cur_cycle_, *ev.wrote, {ev.proc},
+          "write event carries no message payload");
+      continue;
+    }
+    ++report_.messages;
+    ++messages_per_proc_[ev.proc];
+    ++messages_per_channel_[*ev.wrote];
+    if (++proc_writes[ev.proc] == 2) {
+      add(Rule::kWritePerProc, cur_cycle_, *ev.wrote, {ev.proc},
+          std::string("P") + std::to_string(ev.proc + 1) +
+              " wrote more than one channel this cycle");
+    }
+    const ChannelId c = *ev.wrote;
+    if (chan_written[c]) {
+      if (!chan_collided[c]) {
+        chan_collided[c] = 1;
+        add(Rule::kCollision, cur_cycle_, c, {chan_writer[c], ev.proc},
+            "dual writers on one channel — the model aborts the run");
+      }
+      continue;
+    }
+    chan_written[c] = 1;
+    chan_writer[c] = ev.proc;
+    chan_msg[c] = &*ev.sent;
+  }
+
+  // One read observation against the cycle's channel contents.
+  auto check_read_value = [&](const CycleEvent& ev, ChannelId c,
+                              const std::optional<Message>& got) {
+    if (chan_collided[c]) return;  // contents undefined; collision reported
+    if (chan_written[c]) {
+      if (!got) {
+        add(Rule::kValue, cur_cycle_, c, {ev.proc, chan_writer[c]},
+            "read observed silence although the channel was written this "
+            "cycle");
+      } else if (!(*got == *chan_msg[c])) {
+        add(Rule::kValue, cur_cycle_, c, {ev.proc, chan_writer[c]},
+            "read observed a value different from the one written this "
+            "cycle (stale or corrupted)");
+      }
+    } else if (got) {
+      add(Rule::kValue, cur_cycle_, c, {ev.proc},
+          "read observed a value on a channel nobody wrote this cycle "
+          "(channels are memoryless)");
+    }
+  };
+
+  // Pass 2: reads.
+  for (const CycleEvent& ev : cur_) {
+    if (ev.proc >= cfg_.p) continue;  // already reported in pass 1
+    if (ev.read) {
+      ++report_.reads;
+      if (*ev.read >= cfg_.k) {
+        add(Rule::kStream, cur_cycle_, *ev.read, {ev.proc},
+            std::string("read channel id out of range (k=") +
+                std::to_string(cfg_.k) + ")");
+      } else {
+        check_read_value(ev, *ev.read, ev.received);
+      }
+      if (++proc_reads[ev.proc] == 2) {
+        add(Rule::kReadPerProc, cur_cycle_, ev.read, {ev.proc},
+            std::string("P") + std::to_string(ev.proc + 1) +
+                " read more than once this cycle");
+      }
+    } else if (ev.received) {
+      add(Rule::kStream, cur_cycle_, std::nullopt, {ev.proc},
+          "event carries a received message but no read channel");
+    }
+    if (ev.read_all) {
+      ++report_.reads;
+      if (!cfg_.multi_read) {
+        add(Rule::kMultiRead, cur_cycle_, std::nullopt, {ev.proc},
+            "multi-read event but SimConfig::multi_read is off");
+      }
+      if (ev.received_all.size() != cfg_.k) {
+        add(Rule::kStream, cur_cycle_, std::nullopt, {ev.proc},
+            std::string("multi-read delivered ") +
+                std::to_string(ev.received_all.size()) +
+                " results for k=" + std::to_string(cfg_.k) + " channels");
+      } else {
+        for (ChannelId c = 0; c < cfg_.k; ++c) {
+          check_read_value(ev, c, ev.received_all[c]);
+        }
+      }
+      if (++proc_reads[ev.proc] == 2) {
+        add(Rule::kReadPerProc, cur_cycle_, std::nullopt, {ev.proc},
+            std::string("P") + std::to_string(ev.proc + 1) +
+                " combined multi-read with another read this cycle");
+      }
+    }
+  }
+
+  cur_.clear();
+  cycle_open_ = false;
+}
+
+const Report& ConformanceChecker::finish(const RunStats& stats) {
+  if (finished_) return report_;
+  finished_ = true;
+  flush_cycle();
+
+  // --- MCB-S1: reconcile RunStats against the independent count ----------
+  auto stats_mismatch = [&](const std::string& what, std::uint64_t reported,
+                            std::uint64_t counted) {
+    add(Rule::kStats, 0, std::nullopt, {},
+        what + ": RunStats reports " + std::to_string(reported) +
+            ", checker counted " + std::to_string(counted));
+  };
+  if (stats.messages != report_.messages) {
+    stats_mismatch("total messages", stats.messages, report_.messages);
+  }
+  if (saw_events_ && stats.cycles <= last_event_cycle_) {
+    add(Rule::kStats, last_event_cycle_, std::nullopt, {},
+        std::string("RunStats reports ") + std::to_string(stats.cycles) +
+            " cycles but events were observed in cycle " +
+            std::to_string(last_event_cycle_));
+  }
+  if (stats.messages_per_proc.size() != cfg_.p) {
+    add(Rule::kStats, 0, std::nullopt, {},
+        std::string("messages_per_proc has ") +
+            std::to_string(stats.messages_per_proc.size()) +
+            " entries for p=" + std::to_string(cfg_.p));
+  } else {
+    std::uint64_t sum = 0;
+    for (ProcId i = 0; i < cfg_.p; ++i) {
+      sum += stats.messages_per_proc[i];
+      if (stats.messages_per_proc[i] != messages_per_proc_[i]) {
+        stats_mismatch(std::string("messages of P") + std::to_string(i + 1),
+                       stats.messages_per_proc[i], messages_per_proc_[i]);
+      }
+    }
+    if (sum != stats.messages) {
+      stats_mismatch("sum of per-processor messages", sum, stats.messages);
+    }
+  }
+  if (stats.messages_per_channel.size() != cfg_.k) {
+    add(Rule::kStats, 0, std::nullopt, {},
+        std::string("messages_per_channel has ") +
+            std::to_string(stats.messages_per_channel.size()) +
+            " entries for k=" + std::to_string(cfg_.k));
+  } else {
+    for (ChannelId c = 0; c < cfg_.k; ++c) {
+      if (stats.messages_per_channel[c] != messages_per_channel_[c]) {
+        stats_mismatch(std::string("messages on C") + std::to_string(c + 1),
+                       stats.messages_per_channel[c],
+                       messages_per_channel_[c]);
+      }
+    }
+  }
+
+  // --- MCB-B1: the run cannot beat the paper's lower bounds --------------
+  double lower_messages = 0.0;
+  double lower_cycles = 0.0;
+  if (bounds_ == BoundsKind::kSorting) {
+    lower_messages = theory::sorting_messages_lower(sizes_);
+    lower_cycles = theory::sorting_cycles_lower(sizes_, cfg_.k);
+  } else if (bounds_ == BoundsKind::kSelection) {
+    std::size_t n = 0;
+    for (std::size_t s : sizes_) n += s;
+    if (rank_d_ == (n + 1) / 2) {
+      lower_messages = theory::selection_messages_lower(sizes_);
+    } else if (rank_d_ >= cfg_.p && rank_d_ <= n / 2) {
+      lower_messages = theory::selection_messages_lower_rank(sizes_, rank_d_);
+    }
+    // Corollaries 1/2: the cycle bound is the message bound over k.
+    lower_cycles = lower_messages / static_cast<double>(cfg_.k);
+  }
+  auto beats_bound = [&](const char* what, std::uint64_t measured,
+                         double lower) {
+    if (lower > 0.0 && static_cast<double>(measured) < lower - kBoundsEpsilon) {
+      std::ostringstream os;
+      os << "run used " << measured << " " << what
+         << " but the paper's lower bound is " << lower
+         << " — the model must have been relaxed";
+      add(Rule::kBounds, 0, std::nullopt, {}, os.str());
+    }
+  };
+  beats_bound("messages", stats.messages, lower_messages);
+  beats_bound("cycles", stats.cycles, lower_cycles);
+
+  return report_;
+}
+
+}  // namespace mcb::check

@@ -1,0 +1,170 @@
+// Independent model-conformance checking.
+//
+// The paper's complexity results are *model* claims: per cycle each
+// processor writes at most one channel and reads at most one, two writers
+// on one channel collide and abort, and a message exists only in the cycle
+// it is written (docs/MODEL.md). The engines enforce those rules inside
+// their hot paths — but an engine bug could silently relax the model and
+// "improve" every measured bound. The ConformanceChecker is the wall
+// against that failure mode: a TraceSink observer that re-derives the
+// model rules from the event stream alone, with its own counters, and
+// reconciles the result against RunStats and the paper's lower bounds
+// (src/theory) when the run finishes.
+//
+// The checker never mutates the network (TraceSink contract) and never
+// throws on a violation: violations are data, collected into a Report with
+// machine-readable (rule id, cycle, channel, procs) records so a harness
+// can aggregate them. Attach it to either engine — both emit the same
+// per-cycle event stream — via `mcbsim --check`, `Sweep::check`, or
+// directly as the sink of any run. Detached, it costs nothing: the engines'
+// sink dispatch is a single branch (docs/ENGINE.md, "Observer cost").
+//
+// Rule catalogue (docs/MODEL.md maps each to the paper's Section 2 / 9):
+//
+//   MCB-W1  a processor wrote more than one channel in one cycle
+//   MCB-R1  a processor read more than once in one cycle
+//   MCB-C1  two processors wrote the same channel in one cycle (collision)
+//   MCB-V1  a read's observed value differs from what the cycle's writer
+//           broadcast (stale, invented, or dropped value)
+//   MCB-X1  multi-read used while SimConfig::multi_read is off
+//   MCB-E1  malformed event stream (ids out of range, write without a
+//           payload, non-monotone cycles)
+//   MCB-S1  RunStats totals disagree with the checker's independent count
+//   MCB-B1  totals beat a lower bound of the paper (Thms 1-3, Cor 3) —
+//           a correct run cannot, so the model must have been relaxed
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcb/sim_config.hpp"
+#include "mcb/stats.hpp"
+#include "mcb/trace.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb::check {
+
+enum class Rule {
+  kWritePerProc,  ///< MCB-W1
+  kReadPerProc,   ///< MCB-R1
+  kCollision,     ///< MCB-C1
+  kValue,         ///< MCB-V1
+  kMultiRead,     ///< MCB-X1
+  kStream,        ///< MCB-E1
+  kStats,         ///< MCB-S1
+  kBounds,        ///< MCB-B1
+};
+
+/// Stable machine-readable identifier ("MCB-W1", ...).
+const char* rule_id(Rule r);
+
+/// One-line statement of the rule (for reports and docs).
+const char* rule_summary(Rule r);
+
+/// One detected violation. `cycle`/`channel` are meaningful only for the
+/// per-cycle rules; end-of-run rules (MCB-S1, MCB-B1) report cycle 0 and no
+/// channel. `procs` lists every processor involved (e.g. both colliding
+/// writers).
+struct Violation {
+  Rule rule = Rule::kStream;
+  Cycle cycle = 0;
+  std::optional<ChannelId> channel;
+  std::vector<ProcId> procs;
+  std::string detail;
+};
+
+/// The checker's verdict plus its independent accounting. At most
+/// kMaxRecorded violations carry full records; the totals keep counting
+/// beyond the cap so a hopelessly broken run cannot exhaust memory.
+struct Report {
+  static constexpr std::size_t kMaxRecorded = 100;
+
+  std::vector<Violation> violations;
+  std::uint64_t total_violations = 0;  ///< including unrecorded ones
+  std::uint64_t cycles_checked = 0;    ///< distinct cycles observed
+  std::uint64_t events = 0;            ///< per-processor events observed
+  std::uint64_t messages = 0;          ///< writes counted by the checker
+  std::uint64_t reads = 0;             ///< read operations counted
+
+  bool ok() const { return total_violations == 0; }
+
+  /// Human-readable multi-line summary ("conformance: OK ..." or the
+  /// violation list).
+  std::string summary() const;
+
+  /// Machine-readable single JSON object:
+  /// {"ok": ..., "cycles_checked": ..., "events": ..., "messages": ...,
+  ///  "reads": ..., "total_violations": ...,
+  ///  "violations": [{"rule": "MCB-C1", "cycle": 5, "channel": 2,
+  ///                  "procs": [1, 3], "detail": "..."}]}
+  std::string json() const;
+};
+
+/// The observer. Feed it the run's event stream (attach as the network's
+/// TraceSink), then call finish(stats) exactly once when the run completes.
+///
+/// Events may also be injected directly through on_event — that is the
+/// fault-injection surface tests/conformance_test.cpp uses to prove every
+/// rule can actually fire (a checker that cannot fail proves nothing).
+class ConformanceChecker final : public TraceSink {
+ public:
+  /// `cfg` supplies p, k and the multi-read gate. `next` optionally chains
+  /// a downstream sink (e.g. a ChannelTrace) fed the unmodified events.
+  explicit ConformanceChecker(const SimConfig& cfg, TraceSink* next = nullptr);
+
+  // Optional end-of-run reconciliation against the paper's lower bounds
+  // (rule MCB-B1). `sizes` are the per-processor input cardinalities of the
+  // workload the run sorted / selected over.
+
+  /// Arm the sorting bounds: Theorem 3 messages, Cor 3 + Theorem 5 cycles.
+  void expect_sorting_bounds(std::vector<std::size_t> sizes);
+
+  /// Arm the selection bounds for rank d: Theorem 1 (median) or Theorem 2
+  /// (general rank, when its p <= d <= n/2 precondition holds) messages and
+  /// the Corollary 1/2 cycle bound.
+  void expect_selection_bounds(std::vector<std::size_t> sizes, std::size_t d);
+
+  void on_event(const CycleEvent& ev) override;
+
+  /// Validates the final buffered cycle and reconciles the checker's
+  /// independent totals against `stats` (rules MCB-S1, MCB-B1). Single-shot;
+  /// returns the completed report.
+  const Report& finish(const RunStats& stats);
+
+  /// The report so far (complete only after finish()).
+  const Report& report() const { return report_; }
+
+ private:
+  void flush_cycle();
+  void check_cycle_event(const CycleEvent& ev);
+  void add(Rule rule, Cycle cycle, std::optional<ChannelId> channel,
+           std::vector<ProcId> procs, std::string detail);
+
+  SimConfig cfg_;
+  TraceSink* next_;
+
+  // Events of the cycle currently being assembled; validated as a unit when
+  // the stream moves to the next cycle (or at finish()).
+  bool cycle_open_ = false;
+  Cycle cur_cycle_ = 0;
+  std::vector<CycleEvent> cur_;
+
+  // Independent cumulative accounting, reconciled against RunStats.
+  std::vector<std::uint64_t> messages_per_proc_;
+  std::vector<std::uint64_t> messages_per_channel_;
+  Cycle last_event_cycle_ = 0;
+  bool saw_events_ = false;
+
+  enum class BoundsKind { kNone, kSorting, kSelection };
+  BoundsKind bounds_ = BoundsKind::kNone;
+  std::vector<std::size_t> sizes_;
+  std::size_t rank_d_ = 0;
+
+  bool finished_ = false;
+  Report report_;
+};
+
+}  // namespace mcb::check

@@ -6,8 +6,11 @@
 #include <numeric>
 #include <sstream>
 
+#include <optional>
+
 #include "algo/selection.hpp"
 #include "algo/sort.hpp"
+#include "check/conformance.hpp"
 #include "harness/thread_pool.hpp"
 #include "theory/bounds.hpp"
 #include "util/check.hpp"
@@ -128,7 +131,7 @@ std::vector<TrialSpec> expand(const Sweep& sweep) {
   return specs;
 }
 
-TrialResult run_trial(const TrialSpec& spec, Engine engine) {
+TrialResult run_trial(const TrialSpec& spec, Engine engine, bool check) {
   TrialResult r;
   const GridPoint& pt = spec.point;
   try {
@@ -137,20 +140,31 @@ TrialResult run_trial(const TrialSpec& spec, Engine engine) {
     cfg.validate();
     const auto w = util::make_workload(pt.n, pt.p, pt.shape, spec.seed);
 
+    std::optional<check::ConformanceChecker> checker;
+    if (check) checker.emplace(cfg);
+    TraceSink* sink = check ? &*checker : nullptr;
+    std::vector<std::size_t> sizes;
+    if (check) {
+      sizes.reserve(w.inputs.size());
+      for (const auto& in : w.inputs) sizes.push_back(in.size());
+    }
+
     if (pt.algorithm == "select") {
-      auto res = algo::select_median(cfg, w.inputs);
-      fill_stats(r, res.stats);
-      r.algorithm_used = "selection";
-      r.predicted_cycles = theory::selection_cycles_term(pt.p, pt.k, pt.n);
-      r.predicted_messages =
-          theory::selection_messages_term(pt.p, pt.k, pt.n);
-      // Verify against the true median of the flattened input.
+      // Verification target: the true median of the flattened input.
       std::vector<Word> flat;
       flat.reserve(pt.n);
       for (const auto& in : w.inputs) {
         flat.insert(flat.end(), in.begin(), in.end());
       }
       const std::size_t d = (flat.size() + 1) / 2;  // d-th largest
+      if (check) checker->expect_selection_bounds(std::move(sizes), d);
+      auto res = algo::select_median(cfg, w.inputs, {}, sink);
+      fill_stats(r, res.stats);
+      if (check) checker->finish(res.stats);
+      r.algorithm_used = "selection";
+      r.predicted_cycles = theory::selection_cycles_term(pt.p, pt.k, pt.n);
+      r.predicted_messages =
+          theory::selection_messages_term(pt.p, pt.k, pt.n);
       auto nth = flat.begin() + static_cast<std::ptrdiff_t>(d - 1);
       std::nth_element(flat.begin(), nth, flat.end(), std::greater<Word>{});
       if (res.value != *nth) {
@@ -159,10 +173,13 @@ TrialResult run_trial(const TrialSpec& spec, Engine engine) {
                   std::to_string(*nth);
       }
     } else {
+      if (check) checker->expect_sorting_bounds(std::move(sizes));
       auto res = algo::sort(
           cfg, w.inputs,
-          {.algorithm = algo::sort_algorithm_from_string(pt.algorithm)});
+          {.algorithm = algo::sort_algorithm_from_string(pt.algorithm)},
+          sink);
       fill_stats(r, res.run.stats);
+      if (check) checker->finish(res.run.stats);
       r.algorithm_used = algo::to_string(res.used);
       r.predicted_cycles =
           theory::sorting_cycles_term(pt.n, pt.k, w.max_local());
@@ -176,6 +193,20 @@ TrialResult run_trial(const TrialSpec& spec, Engine engine) {
             "verification failed: sort output is not a permutation of the "
             "input";
       }
+    }
+
+    if (check && !checker->report().ok()) {
+      const auto& rep = checker->report();
+      r.conformance_violations = rep.total_violations;
+      std::string msg =
+          std::string("conformance failed: ") +
+          std::to_string(rep.total_violations) +
+          " violation(s), first " +
+          (rep.violations.empty()
+               ? std::string("<unrecorded>")
+               : std::string(check::rule_id(rep.violations.front().rule)) +
+                     ": " + rep.violations.front().detail);
+      r.error = r.error.empty() ? msg : r.error + "; " + msg;
     }
   } catch (const std::exception& e) {
     r.error = e.what();
@@ -211,7 +242,7 @@ SweepRun run_sweep(const Sweep& sweep, const SweepOptions& opts) {
   // Each worker writes only results[i] for the indices it claims; trials
   // share no other mutable state (see harness/thread_pool.hpp).
   parallel_for_index(run.specs.size(), opts.threads, [&](std::size_t i) {
-    run.results[i] = run_trial(run.specs[i], sweep.engine);
+    run.results[i] = run_trial(run.specs[i], sweep.engine, sweep.check);
   });
   run.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -254,8 +285,9 @@ std::string sweep_json(const SweepRun& run) {
   std::ostringstream os;
   os << "{\n  \"sweep\": {\"base_seed\": " << run.sweep.base_seed
      << ", \"seeds\": " << run.sweep.seeds << ", \"engine\": \""
-     << engine_name(run.sweep.engine)
-     << "\", \"points\": " << run.aggregates.size()
+     << engine_name(run.sweep.engine) << "\", \"check\": "
+     << (run.sweep.check ? "true" : "false")
+     << ", \"points\": " << run.aggregates.size()
      << ", \"trials\": " << run.results.size() << "},\n";
 
   os << "  \"trials\": [\n";
@@ -278,6 +310,7 @@ std::string sweep_json(const SweepRun& run) {
        << ", \"arena_hit_rate\": " << fmt(res.arena_hit_rate)
        << ", \"predicted_cycles\": " << fmt(res.predicted_cycles)
        << ", \"predicted_messages\": " << fmt(res.predicted_messages)
+       << ", \"conformance_violations\": " << res.conformance_violations
        << ", \"error\": \"" << util::json_escape(res.error) << "\"}"
        << (i + 1 < run.specs.size() ? ",\n" : "\n");
   }

@@ -67,6 +67,13 @@ struct Sweep {
   std::size_t seeds = 1;  ///< trials per grid point
   Engine engine = Engine::kEventDriven;
 
+  /// Attach a check::ConformanceChecker to every trial: each run's event
+  /// stream is independently re-validated against the MCB model rules and
+  /// reconciled against its RunStats and the paper's bounds. A trial with
+  /// violations records an error (and the violation count below) instead of
+  /// aborting the sweep. Deterministic given the spec, so serialized.
+  bool check = false;
+
   /// Grid points in stable enumeration order.
   std::vector<GridPoint> points() const;
   std::size_t trials() const { return points().size() * seeds; }
@@ -104,6 +111,9 @@ struct TrialResult {
   /// Theta-term predictions from theory/bounds for this point's geometry.
   double predicted_cycles = 0.0;
   double predicted_messages = 0.0;
+  /// Model-conformance violations found by the checker (0 when the sweep
+  /// ran without Sweep::check, or when the run conformed).
+  std::uint64_t conformance_violations = 0;
   std::string algorithm_used;  ///< resolved algorithm (e.g. auto -> ...)
   std::string error;           ///< empty on success
   bool ok() const { return error.empty(); }
@@ -155,8 +165,11 @@ struct SweepRun {
 /// Expands the sweep into trial specs (stable order; pure).
 std::vector<TrialSpec> expand(const Sweep& sweep);
 
-/// Runs one trial on the calling thread (pure given the spec).
-TrialResult run_trial(const TrialSpec& spec, Engine engine);
+/// Runs one trial on the calling thread (pure given the spec). With
+/// `check`, a ConformanceChecker observes the run; violations become the
+/// trial's error.
+TrialResult run_trial(const TrialSpec& spec, Engine engine,
+                      bool check = false);
 
 /// Runs the whole sweep on a worker pool and aggregates.
 SweepRun run_sweep(const Sweep& sweep, const SweepOptions& opts = {});

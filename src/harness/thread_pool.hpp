@@ -5,14 +5,15 @@
 // scheduling — long trials don't straggle behind a static partition). The
 // call returns only when every index has completed.
 //
-// Concurrency contract (and why the CI matrix runs ASan+UBSan but not TSan):
-// the only shared mutable state inside the pool is the index counter, an
-// std::atomic. Each index i is claimed by exactly one worker, and callers
-// are required to make fn(i) touch only state owned by index i (the sweep
-// harness runs one independent single-threaded Network per trial and writes
-// to results[i] only). Completed writes are published to the caller by the
-// workers' thread joins, which synchronize-with the return. With trials
-// sharing nothing, there is no cross-thread data to race on.
+// Concurrency contract: the only shared mutable state inside the pool is
+// the index counter, an std::atomic. Each index i is claimed by exactly one
+// worker, and callers are required to make fn(i) touch only state owned by
+// index i (the sweep harness runs one independent single-threaded Network
+// per trial and writes to results[i] only). Completed writes are published
+// to the caller by the workers' thread joins, which synchronize-with the
+// return. The contract is enforced, not assumed: tools/ci.sh builds the
+// `tsan` preset and runs this suite (tests/harness_test.cpp) plus a
+// parallel sweep smoke under ThreadSanitizer on every CI run.
 #pragma once
 
 #include <cstddef>

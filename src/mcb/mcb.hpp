@@ -24,6 +24,7 @@
 #include "algo/sort.hpp"
 #include "algo/uneven_sort.hpp"
 #include "algo/virtual_columnsort.hpp"
+#include "check/conformance.hpp"
 #include "mcb/network.hpp"
 #include "se/shout_echo.hpp"
 #include "theory/adversary.hpp"

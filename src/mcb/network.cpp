@@ -14,8 +14,10 @@ Network::Network(SimConfig cfg, TraceSink* sink)
   event_mode_ = cfg_.engine == Engine::kEventDriven;
   procs_.reserve(cfg_.p);
   for (std::size_t i = 0; i < cfg_.p; ++i) {
-    procs_.push_back(
-        std::unique_ptr<Proc>(new Proc(*this, static_cast<ProcId>(i))));
+    // Proc's constructor is private (Network is its only factory), so
+    // make_unique cannot reach it.
+    procs_.push_back(std::unique_ptr<Proc>(
+        new Proc(*this, static_cast<ProcId>(i))));  // lint-allow: naked-new
   }
   installed_.assign(cfg_.p, false);
   slots_.resize(cfg_.k);

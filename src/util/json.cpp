@@ -88,6 +88,14 @@ const JsonValue* JsonValue::find(const std::string& key) const {
   return nullptr;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("JSON: not an object");
+  }
+  return object_;
+}
+
 const JsonValue& JsonValue::at(const std::string& key) const {
   const JsonValue* v = find(key);
   if (v == nullptr) throw std::invalid_argument("JSON: missing key " + key);

@@ -48,6 +48,10 @@ class JsonValue {
   const JsonValue* find(const std::string& key) const;
   const JsonValue& at(const std::string& key) const;
 
+  /// Object members in insertion order (for consumers that walk a document
+  /// structurally, e.g. the `mcbsim gates` scanner). Throws on non-objects.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
  private:
   friend JsonValue json_parse(std::string_view);
   friend class JsonParser;

@@ -1,0 +1,359 @@
+// Tests of the model-conformance checker (src/check): every algorithm in
+// the repository validates clean on both engines with the paper's bounds
+// armed, and every rule in the catalogue actually fires when its violation
+// is injected — a checker that cannot fail proves nothing. Injection uses
+// the documented fault surface: events fed straight into on_event, plus one
+// end-to-end case with a corrupting tee between a real engine and the
+// checker.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "algo/selection.hpp"
+#include "algo/sort.hpp"
+#include "check/conformance.hpp"
+#include "harness/sweep.hpp"
+#include "util/json.hpp"
+#include "util/workload.hpp"
+
+namespace mcb::check {
+namespace {
+
+using algo::SortAlgorithm;
+
+// --- event and stats builders for injection ---------------------------------
+
+CycleEvent write_ev(Cycle cy, ProcId p, ChannelId c, Word v) {
+  CycleEvent ev;
+  ev.cycle = cy;
+  ev.proc = p;
+  ev.wrote = c;
+  ev.sent = Message::of(v);
+  return ev;
+}
+
+CycleEvent read_ev(Cycle cy, ProcId p, ChannelId c, std::optional<Word> v) {
+  CycleEvent ev;
+  ev.cycle = cy;
+  ev.proc = p;
+  ev.read = c;
+  if (v) ev.received = Message::of(*v);
+  return ev;
+}
+
+/// RunStats consistent with the injected events, so reconciliation (MCB-S1)
+/// stays quiet and the rule under test is the only violation.
+RunStats stats_of(Cycle cycles, std::vector<std::uint64_t> per_proc,
+                  std::vector<std::uint64_t> per_channel) {
+  RunStats s;
+  s.cycles = cycles;
+  for (auto m : per_proc) s.messages += m;
+  s.messages_per_proc = std::move(per_proc);
+  s.messages_per_channel = std::move(per_channel);
+  return s;
+}
+
+std::vector<std::size_t> sizes_of(const std::vector<std::vector<Word>>& in) {
+  std::vector<std::size_t> sizes;
+  for (const auto& x : in) sizes.push_back(x.size());
+  return sizes;
+}
+
+/// Asserts the report contains at least one violation and that every
+/// recorded one carries `rule`. Returns false when empty so callers can
+/// guard indexed access.
+[[nodiscard]] bool expect_only_rule(const Report& rep, Rule rule) {
+  EXPECT_FALSE(rep.ok());
+  EXPECT_GE(rep.violations.size(), 1u) << rep.summary();
+  for (const auto& v : rep.violations) {
+    EXPECT_EQ(v.rule, rule) << "unexpected " << rule_id(v.rule) << " in\n"
+                            << rep.summary();
+  }
+  return !rep.violations.empty();
+}
+
+// --- positive: the whole algorithm grid conforms on both engines ------------
+
+TEST(ConformancePositive, EverySortAlgorithmOnBothEngines) {
+  auto w = util::make_workload(256, 16, util::Shape::kEven, 2);
+  const auto sizes = sizes_of(w.inputs);
+  for (auto engine : {Engine::kEventDriven, Engine::kReference}) {
+    for (auto a : {SortAlgorithm::kColumnsortEven,
+                   SortAlgorithm::kVirtualColumnsort, SortAlgorithm::kRecursive,
+                   SortAlgorithm::kUnevenColumnsort, SortAlgorithm::kRankSort,
+                   SortAlgorithm::kMergeSort, SortAlgorithm::kCentral}) {
+      SimConfig cfg{.p = 16, .k = 4, .engine = engine};
+      ConformanceChecker checker(cfg);
+      checker.expect_sorting_bounds(sizes);
+      auto res = algo::sort(cfg, w.inputs, {.algorithm = a}, &checker);
+      const Report& rep = checker.finish(res.run.stats);
+      EXPECT_TRUE(rep.ok()) << to_string(a) << ": " << rep.summary();
+      // The checker's independent count must agree with the engine's.
+      EXPECT_EQ(rep.messages, res.run.stats.messages) << to_string(a);
+      EXPECT_GT(rep.cycles_checked, 0u) << to_string(a);
+    }
+  }
+}
+
+TEST(ConformancePositive, SelectionMedianAndRankOnBothEngines) {
+  auto w = util::make_workload(256, 8, util::Shape::kRandom, 3);
+  const auto sizes = sizes_of(w.inputs);
+  for (auto engine : {Engine::kEventDriven, Engine::kReference}) {
+    SimConfig cfg{.p = 8, .k = 4, .engine = engine};
+    {
+      ConformanceChecker checker(cfg);
+      checker.expect_selection_bounds(sizes, (256 + 1) / 2);
+      auto res = algo::select_median(cfg, w.inputs, {}, &checker);
+      EXPECT_TRUE(checker.finish(res.stats).ok())
+          << checker.report().summary();
+    }
+    {
+      // d = 16 satisfies Theorem 2's precondition p <= d <= n/2.
+      ConformanceChecker checker(cfg);
+      checker.expect_selection_bounds(sizes, 16);
+      auto res = algo::select_rank(cfg, w.inputs, 16, {}, &checker);
+      EXPECT_TRUE(checker.finish(res.stats).ok())
+          << checker.report().summary();
+    }
+  }
+}
+
+TEST(ConformancePositive, MultiReadCleanWhenExtensionEnabled) {
+  SimConfig cfg{.p = 2, .k = 2, .multi_read = true};
+  ConformanceChecker checker(cfg);
+  checker.on_event(write_ev(0, 0, 0, 5));
+  CycleEvent all;
+  all.cycle = 0;
+  all.proc = 1;
+  all.read_all = true;
+  all.received_all = {Message::of(5), std::nullopt};
+  checker.on_event(all);
+  EXPECT_TRUE(checker.finish(stats_of(1, {1, 0}, {1, 0})).ok())
+      << checker.report().summary();
+}
+
+TEST(ConformancePositive, TeeForwardsEveryEventUnmodified) {
+  auto w = util::make_workload(64, 8, util::Shape::kEven, 4);
+  SimConfig cfg{.p = 8, .k = 2};
+  ChannelTrace trace;
+  ConformanceChecker checker(cfg, &trace);
+  auto res = algo::sort(cfg, w.inputs, {}, &checker);
+  EXPECT_TRUE(checker.finish(res.run.stats).ok());
+  ASSERT_FALSE(trace.truncated());
+  EXPECT_EQ(trace.events().size(), checker.report().events);
+}
+
+TEST(ConformancePositive, HarnessTrialRunsCheckedOnBothEngines) {
+  for (auto engine : {Engine::kEventDriven, Engine::kReference}) {
+    for (const char* alg : {"auto", "select"}) {
+      harness::TrialSpec spec;
+      spec.point = {.p = 8, .k = 2, .n = 64,
+                    .shape = util::Shape::kEven, .algorithm = alg};
+      spec.seed = 7;
+      auto r = harness::run_trial(spec, engine, /*check=*/true);
+      EXPECT_TRUE(r.ok()) << alg << ": " << r.error;
+      EXPECT_EQ(r.conformance_violations, 0u) << alg;
+    }
+  }
+}
+
+// --- injection: every rule fires with its documented id ---------------------
+
+TEST(ConformanceInjection, DualWriteFiresW1) {
+  ConformanceChecker checker({.p = 2, .k = 2});
+  checker.on_event(write_ev(0, 0, 0, 1));
+  checker.on_event(write_ev(0, 0, 1, 2));
+  const Report& rep = checker.finish(stats_of(1, {2, 0}, {1, 1}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kWritePerProc));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-W1");
+  EXPECT_EQ(rep.violations[0].cycle, 0u);
+  EXPECT_EQ(rep.violations[0].procs, std::vector<ProcId>{0});
+}
+
+TEST(ConformanceInjection, DoubleReadFiresR1) {
+  ConformanceChecker checker({.p = 2, .k = 1});
+  checker.on_event(write_ev(3, 0, 0, 7));
+  checker.on_event(read_ev(3, 1, 0, 7));
+  checker.on_event(read_ev(3, 1, 0, 7));
+  const Report& rep = checker.finish(stats_of(4, {1, 0}, {1}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kReadPerProc));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-R1");
+  EXPECT_EQ(rep.violations[0].cycle, 3u);
+  EXPECT_EQ(rep.violations[0].procs, std::vector<ProcId>{1});
+}
+
+TEST(ConformanceInjection, DualWritersOnOneChannelFireC1) {
+  ConformanceChecker checker({.p = 2, .k = 1});
+  checker.on_event(write_ev(5, 0, 0, 1));
+  checker.on_event(write_ev(5, 1, 0, 2));
+  const Report& rep = checker.finish(stats_of(6, {1, 1}, {2}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kCollision));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-C1");
+  EXPECT_EQ(rep.violations[0].cycle, 5u);
+  EXPECT_EQ(rep.violations[0].channel, std::optional<ChannelId>{0});
+  EXPECT_EQ(rep.violations[0].procs, (std::vector<ProcId>{0, 1}));
+}
+
+TEST(ConformanceInjection, StaleValueReadFiresV1) {
+  ConformanceChecker checker({.p = 2, .k = 1});
+  checker.on_event(write_ev(0, 0, 0, 1));
+  checker.on_event(read_ev(0, 1, 0, 2));  // nobody wrote 2 this cycle
+  const Report& rep = checker.finish(stats_of(1, {1, 0}, {1}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kValue));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-V1");
+}
+
+TEST(ConformanceInjection, InventedValueOnSilentChannelFiresV1) {
+  ConformanceChecker checker({.p = 2, .k = 1});
+  checker.on_event(read_ev(0, 1, 0, 9));  // channels are memoryless
+  const Report& rep = checker.finish(stats_of(1, {0, 0}, {0}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kValue));
+}
+
+TEST(ConformanceInjection, MultiReadWithoutFlagFiresX1) {
+  ConformanceChecker checker({.p = 2, .k = 2});  // multi_read defaults off
+  CycleEvent all;
+  all.proc = 0;
+  all.read_all = true;
+  all.received_all = {std::nullopt, std::nullopt};
+  checker.on_event(all);
+  const Report& rep = checker.finish(stats_of(1, {0, 0}, {0, 0}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kMultiRead));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-X1");
+}
+
+TEST(ConformanceInjection, NonMonotoneStreamFiresE1) {
+  ConformanceChecker checker({.p = 1, .k = 1});
+  CycleEvent late;
+  late.cycle = 1;
+  CycleEvent early;
+  early.cycle = 0;
+  checker.on_event(late);
+  checker.on_event(early);
+  const Report& rep = checker.finish(stats_of(2, {0}, {0}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kStream));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-E1");
+}
+
+TEST(ConformanceInjection, WriteWithoutPayloadFiresE1) {
+  ConformanceChecker checker({.p = 1, .k = 1});
+  CycleEvent ev;
+  ev.wrote = 0;  // no sent message
+  checker.on_event(ev);
+  const Report& rep = checker.finish(stats_of(1, {0}, {0}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kStream));
+}
+
+TEST(ConformanceInjection, DoctoredRunStatsFireS1) {
+  // A real clean run, reconciled against stats claiming one extra message:
+  // only the reconciliation rule can explain the difference.
+  auto w = util::make_workload(64, 8, util::Shape::kEven, 5);
+  SimConfig cfg{.p = 8, .k = 2};
+  ConformanceChecker checker(cfg);
+  auto res = algo::sort(cfg, w.inputs, {}, &checker);
+  RunStats doctored = res.run.stats;
+  doctored.messages += 1;
+  const Report& rep = checker.finish(doctored);
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kStats));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-S1");
+}
+
+TEST(ConformanceInjection, BeatingTheLowerBoundFiresB1) {
+  // A "run" claiming zero messages against a 4x4 sorting workload beats
+  // Theorem 3 — impossible in the model, so the checker must flag it.
+  SimConfig cfg{.p = 4, .k = 2};
+  ConformanceChecker checker(cfg);
+  checker.expect_sorting_bounds({4, 4, 4, 4});
+  const Report& rep = checker.finish(stats_of(0, {0, 0, 0, 0}, {0, 0}));
+  ASSERT_TRUE(expect_only_rule(rep, Rule::kBounds));
+  EXPECT_STREQ(rule_id(rep.violations[0].rule), "MCB-B1");
+}
+
+TEST(ConformanceInjection, CorruptingTeeOnRealEngineFiresW1) {
+  // End-to-end: a tee between a real engine and the checker duplicates
+  // every write onto the other channel, forging a second write per writer
+  // per cycle. Proves the checker catches engine-level corruption, not just
+  // synthetic streams.
+  struct CorruptingTee final : TraceSink {
+    explicit CorruptingTee(TraceSink* out) : out_(out) {}
+    void on_event(const CycleEvent& ev) override {
+      out_->on_event(ev);
+      if (ev.wrote) {
+        CycleEvent forged = ev;
+        forged.wrote = static_cast<ChannelId>(*ev.wrote == 0 ? 1 : 0);
+        forged.read = std::nullopt;
+        forged.received = std::nullopt;
+        out_->on_event(forged);
+      }
+    }
+    TraceSink* out_;
+  };
+  auto w = util::make_workload(64, 8, util::Shape::kEven, 6);
+  SimConfig cfg{.p = 8, .k = 2};
+  ConformanceChecker checker(cfg);
+  CorruptingTee tee(&checker);
+  auto res = algo::sort(cfg, w.inputs, {}, &tee);
+  const Report& rep = checker.finish(res.run.stats);
+  EXPECT_FALSE(rep.ok());
+  bool saw_w1 = false;
+  for (const auto& v : rep.violations) {
+    if (v.rule == Rule::kWritePerProc) saw_w1 = true;
+  }
+  EXPECT_TRUE(saw_w1) << rep.summary();
+}
+
+// --- report surface ----------------------------------------------------------
+
+TEST(ConformanceReport, JsonRoundTripsThroughTheParser) {
+  ConformanceChecker checker({.p = 2, .k = 1});
+  checker.on_event(write_ev(5, 0, 0, 1));
+  checker.on_event(write_ev(5, 1, 0, 2));
+  const Report& rep = checker.finish(stats_of(6, {1, 1}, {2}));
+  auto doc = util::json_parse(rep.json());
+  EXPECT_FALSE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("total_violations").as_number(), 1.0);
+  EXPECT_EQ(doc.at("messages").as_number(), 2.0);
+  const auto& v = doc.at("violations").at(0);
+  EXPECT_EQ(v.at("rule").as_string(), "MCB-C1");
+  EXPECT_EQ(v.at("cycle").as_number(), 5.0);
+  EXPECT_EQ(v.at("channel").as_number(), 0.0);
+  EXPECT_EQ(v.at("procs").size(), 2u);
+}
+
+TEST(ConformanceReport, CleanJsonAndSummaryReportOk) {
+  ConformanceChecker checker({.p = 1, .k = 1});
+  checker.on_event(write_ev(0, 0, 0, 42));
+  const Report& rep = checker.finish(stats_of(1, {1}, {1}));
+  ASSERT_TRUE(rep.ok());
+  EXPECT_NE(rep.summary().find("OK"), std::string::npos);
+  auto doc = util::json_parse(rep.json());
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("violations").size(), 0u);
+}
+
+TEST(ConformanceReport, FinishIsSingleShot) {
+  ConformanceChecker checker({.p = 1, .k = 1});
+  checker.on_event(write_ev(0, 0, 0, 42));
+  const Report& first = checker.finish(stats_of(1, {1}, {1}));
+  EXPECT_TRUE(first.ok());
+  // A second finish with absurd stats must not re-reconcile.
+  const Report& second = checker.finish(stats_of(999, {77}, {77}));
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(ConformanceReport, RecordingCapKeepsCounting) {
+  ConformanceChecker checker({.p = 2, .k = 1});
+  for (Cycle t = 0; t < Report::kMaxRecorded + 50; ++t) {
+    checker.on_event(read_ev(t, 1, 0, 9));  // invented value every cycle
+  }
+  const Report& rep = checker.finish(
+      stats_of(Report::kMaxRecorded + 50, {0, 0}, {0}));
+  EXPECT_EQ(rep.violations.size(), Report::kMaxRecorded);
+  EXPECT_EQ(rep.total_violations, Report::kMaxRecorded + 50);
+}
+
+}  // namespace
+}  // namespace mcb::check

@@ -7,13 +7,20 @@
 # default — not just the optimised build; the MCB_FRAME_ARENA=OFF preset
 # proves the global-new fallback builds and passes the same suite.
 #
+# Two static-analysis legs ride along: tools/lint.sh (clang-tidy profile
+# plus the repo-specific rules) runs against the release tree's
+# compile_commands.json, and a ThreadSanitizer build runs the harness /
+# thread-pool suite — the one genuinely multi-threaded subsystem — plus a
+# checked sweep smoke.
+#
 # After the suites, the bench gates run on the release build. Every
 # BENCH_*.json records its gates with an "enforced" flag (a gate is
 # unenforced when the machine cannot express it, e.g. the parallel-sweep
 # speedup on < 4 hardware threads, or the arena gate in an arena-off
-# build); enforced gates fail the bench binary — and this script — while
-# unenforced ones are surfaced as a visible WARNING instead of silently
-# recording "enforced": false.
+# build). Gate checking is the `mcbsim gates` subcommand (a strict JSON
+# walk, not a grep): enforced-gate failures fail this script, unenforced
+# gates are surfaced as a visible WARNING instead of silently recording
+# "enforced": false.
 #
 # Usage: tools/ci.sh [jobs]
 set -euo pipefail
@@ -32,14 +39,15 @@ run_preset() {
   echo "=== [$preset] test ==="
   ctest --preset "$preset"
   # Smoke the parallel sweep harness end-to-end through the CLI: a small
-  # grid on several workers, plus the determinism contract (the JSON output
-  # must not depend on the thread count). The harness itself needs no TSan
-  # run — trials share nothing (see src/harness/thread_pool.hpp) — but the
-  # ASan+UBSan pass covers the pool's lifetime handling, and with the frame
-  # arena on it also covers the per-trial thread_local arena install.
+  # grid on several workers with the conformance checker attached, plus the
+  # determinism contract (the JSON output must not depend on the thread
+  # count). Data races in the pool itself are the dedicated TSan leg's job
+  # (below); this pass covers lifetime handling under ASan+UBSan and, with
+  # the frame arena on, the per-trial thread_local arena install.
   echo "=== [$preset] sweep smoke ==="
   "$builddir/tools/mcbsim" sweep --p 4,8 --k 2 --n 64,128 \
-    --shapes even,random --algorithms auto,select --seeds 2 --threads 4
+    --shapes even,random --algorithms auto,select --seeds 2 --threads 4 \
+    --check
   "$builddir/tools/mcbsim" sweep --p 8 --k 2 --n 256 --algorithms select \
     --seeds 3 --threads 1 --json > "$builddir/sweep_t1.json"
   "$builddir/tools/mcbsim" sweep --p 8 --k 2 --n 256 --algorithms select \
@@ -47,24 +55,61 @@ run_preset() {
   cmp "$builddir/sweep_t1.json" "$builddir/sweep_t4.json"
 }
 
-# Scans a bench JSON for gates recorded as unenforced and shouts about them:
-# an unenforced gate means this machine validated nothing, which must be
-# visible in the log, not buried in the artifact.
+# Validates a bench artifact's gates with `mcbsim gates`: a strict JSON
+# parse of every gate object (any object carrying an "enforced" bool), not
+# a text grep that a formatting change could silently blind. Exit 1 =
+# enforced gate failed (or no gates found / unreadable artifact) — fails
+# CI; exit 3 = all enforced gates passed but unenforced ones exist, which
+# means this machine validated nothing for them and must say so in the log,
+# not bury it in the artifact.
 check_gates() {
   local json="$1"
-  [ -f "$json" ] || { echo "WARNING: bench artifact $json missing" >&2;
-                      WARNINGS=$((WARNINGS + 1)); return 0; }
-  if grep -q '"enforced": false' "$json"; then
-    echo "WARNING: $json contains UNENFORCED bench gate(s) — this machine" \
-         "did not validate them (see the gate entries below)" >&2
-    grep -o '{[^{}]*"enforced": false[^{}]*}' "$json" >&2 || true
+  if [ ! -f "$json" ]; then
+    echo "WARNING: bench artifact $json missing" >&2
     WARNINGS=$((WARNINGS + 1))
+    return 0
   fi
+  local rc=0
+  ./build-release/tools/mcbsim gates "$json" || rc=$?
+  case "$rc" in
+    0) ;;
+    3)
+      echo "WARNING: $json contains UNENFORCED bench gate(s) — this machine" \
+           "did not validate them (see the gate rows above)" >&2
+      WARNINGS=$((WARNINGS + 1))
+      ;;
+    *)
+      echo "FAIL: bench gate check failed for $json (exit $rc)" >&2
+      exit 1
+      ;;
+  esac
 }
 
 run_preset release build-release
+
+# Static-analysis wall, as soon as a compile_commands.json exists. lint.sh
+# fails this script on any finding; when clang-tidy is missing on the host
+# it loudly skips that half and still enforces the repo rules.
+echo "=== lint (clang-tidy profile + repo rules) ==="
+./tools/lint.sh build-release
+
 run_preset asan-ubsan build-asan
 run_preset noarena build-noarena
+
+# ThreadSanitizer leg: the worker pool in src/harness is the one place real
+# threads share state, so its suite — and a checked parallel sweep through
+# the CLI — runs under TSan. The simulator itself is single-threaded by
+# design; building the whole matrix under TSan would double CI time for
+# code TSan cannot exercise.
+echo "=== [tsan] configure ==="
+cmake --preset tsan
+echo "=== [tsan] build (harness suite + CLI) ==="
+cmake --build --preset tsan -j "$JOBS" --target harness_test mcbsim
+echo "=== [tsan] harness / thread-pool suite ==="
+ctest --preset tsan
+echo "=== [tsan] checked parallel sweep smoke ==="
+./build-tsan/tools/mcbsim sweep --p 4,8 --k 2 --n 64 \
+  --algorithms auto,select --seeds 2 --threads 4 --check
 
 # Bench gates on the optimised build. The binaries exit non-zero when an
 # enforced gate fails, which aborts CI via set -e; unenforced gates only
@@ -77,8 +122,9 @@ check_gates build-release/BENCH_sweep.json
 
 if [ "$WARNINGS" -gt 0 ]; then
   echo "CI OK with $WARNINGS WARNING(s): release + asan-ubsan + noarena" \
-       "suites and sweep smoke passed; some bench gates were not enforced"
+       "suites, lint, tsan leg and sweep smokes passed; some checks were" \
+       "not enforceable on this machine (see warnings above)"
 else
-  echo "CI OK: release + asan-ubsan + noarena suites, sweep smoke and all" \
-       "bench gates passed"
+  echo "CI OK: release + asan-ubsan + noarena suites, lint, tsan leg," \
+       "sweep smokes and all bench gates passed"
 fi

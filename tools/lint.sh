@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# Static-analysis wall: clang-tidy (profile in .clang-tidy) plus the
+# repo-specific lint rules, over src/. Run by tools/ci.sh; exits non-zero on
+# any finding.
+#
+#   usage: tools/lint.sh [compile-commands-dir]
+#
+# clang-tidy needs a compile_commands.json (every configured build tree has
+# one — CMAKE_EXPORT_COMPILE_COMMANDS is ON globally). The first existing of
+# [argument, build, build-release] is used. When clang-tidy itself is not
+# installed, that half is SKIPPED with a loud warning — mirroring the
+# unenforced-bench-gate policy: a machine that cannot run a check must say
+# so visibly, never silently pass it.
+#
+# Repo-specific rules (always run; no toolchain dependency):
+#
+#   busy-wait-step  A while/for loop whose body is only `co_await
+#                   ...step();` burns O(t) simulation work where Proc::skip
+#                   is O(1) — the anti-pattern PR 1 converted out of the
+#                   library. Legitimate per-cycle participation inside a
+#                   larger loop body is untouched.
+#   naked-new       Protocol/coroutine code must not allocate with naked
+#                   `new`: coroutine frames route through the frame arena
+#                   (util/arena.hpp) and everything else owns memory via
+#                   containers/smart pointers. Placement new and `operator
+#                   new` definitions are exempt; a deliberate exception
+#                   carries a `lint-allow: naked-new` comment.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+FAILURES=0
+WARNINGS=0
+
+# --- clang-tidy ------------------------------------------------------------
+
+run_clang_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "WARNING: clang-tidy is not installed — the clang-tidy half of the" \
+         "lint wall DID NOT RUN on this machine (repo lint still enforced)" >&2
+    WARNINGS=$((WARNINGS + 1))
+    return 0
+  fi
+  local ccdir=""
+  for d in "${1:-}" build build-release; do
+    if [ -n "$d" ] && [ -f "$d/compile_commands.json" ]; then
+      ccdir="$d"
+      break
+    fi
+  done
+  if [ -z "$ccdir" ]; then
+    echo "WARNING: no compile_commands.json found (configure a build tree" \
+         "first, e.g. cmake --preset default) — clang-tidy DID NOT RUN" >&2
+    WARNINGS=$((WARNINGS + 1))
+    return 0
+  fi
+  echo "=== clang-tidy (database: $ccdir) ==="
+  local rc=0
+  # One process over all TUs keeps include parsing warm; --quiet suppresses
+  # the per-file banner noise but not findings.
+  if ! clang-tidy -p "$ccdir" --quiet $(find src -name '*.cpp' | sort); then
+    rc=1
+  fi
+  if [ "$rc" -ne 0 ]; then
+    echo "lint: clang-tidy reported findings" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# --- repo lint: busy-wait step() loops -------------------------------------
+
+# Flags while/for loops whose entire body is a bare `co_await ...step();`:
+#   while (cond) co_await self.step();
+#   while (cond) { co_await self.step(); }
+#   while (cond) {
+#     co_await self.step();
+#   }
+check_busy_wait() {
+  echo "=== repo lint: busy-wait step() loops ==="
+  local found=0
+  while IFS= read -r file; do
+    local hits
+    hits=$(awk '
+      function report(line, text) {
+        printf "%s:%d: busy-wait loop around step(): %s\n", FILENAME, line, text
+      }
+      {
+        # Strip // comments so commented-out code never trips the rule.
+        line = $0
+        sub(/\/\/.*$/, "", line)
+      }
+      # Single-line forms, braced or not.
+      /^[[:space:]]*(while|for)[[:space:]]*\(/ &&
+      line ~ /co_await[^;]*\.step\(\);[[:space:]]*\}?[[:space:]]*$/ {
+        report(NR, $0); next
+      }
+      # Multi-line form: header ending in "{", body that is only the
+      # step() await, then a lone "}".  Runs before the window shift so
+      # prev2/prev1 still hold the two preceding lines.
+      /^[[:space:]]*\}[[:space:]]*$/ {
+        if (prev2 ~ /^[[:space:]]*(while|for)[[:space:]]*\(.*\{[[:space:]]*$/ &&
+            prev2nr == NR - 2 &&
+            prev1 ~ /^[[:space:]]*co_await[^;]*\.step\(\);[[:space:]]*$/) {
+          report(prev1nr, prev1)
+        }
+      }
+      {
+        prev2 = prev1; prev2nr = prev1nr
+        prev1 = line; prev1nr = NR
+      }
+    ' "$file")
+    if [ -n "$hits" ]; then
+      echo "$hits" >&2
+      found=1
+    fi
+  done < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+  if [ "$found" -ne 0 ]; then
+    echo "lint: convert busy-wait step() loops to Proc::skip(t) — O(1)" \
+         "simulation work instead of O(t) (see docs/ENGINE.md)" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# --- repo lint: naked new in protocol/coroutine code -----------------------
+
+check_naked_new() {
+  echo "=== repo lint: naked new outside the arena ==="
+  local found=0
+  local hits
+  hits=$(awk '
+    /lint-allow: naked-new/ { next }
+    /operator new/ { next }
+    {
+      line = $0
+      sub(/\/\/.*$/, "", line)
+      # Placement new never takes ownership: `new (addr) T` / `::new (...)`.
+      if (line ~ /(^|[^[:alnum:]_])new[[:space:]]+[A-Za-z_]/ &&
+          line !~ /new[[:space:]]*\(/) {
+        printf "%s:%d: naked new in protocol code: %s\n", FILENAME, NR, $0
+      }
+    }
+  ' $(find src/mcb src/algo src/se src/sched src/check src/harness \
+        -name '*.cpp' -o -name '*.hpp' | sort))
+  if [ -n "$hits" ]; then
+    echo "$hits" >&2
+    echo "lint: allocate through containers / the frame arena" \
+         "(util/arena.hpp); annotate deliberate exceptions with" \
+         "\"lint-allow: naked-new\"" >&2
+    found=1
+  fi
+  if [ "$found" -ne 0 ]; then
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+run_clang_tidy "${1:-}"
+check_busy_wait
+check_naked_new
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "LINT FAILED: $FAILURES rule group(s) reported findings" >&2
+  exit 1
+fi
+if [ "$WARNINGS" -gt 0 ]; then
+  echo "LINT OK with $WARNINGS WARNING(s): repo lint clean; some tools" \
+       "were unavailable on this machine (see warnings above)"
+else
+  echo "LINT OK: clang-tidy and repo lint clean"
+fi

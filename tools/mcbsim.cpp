@@ -1,18 +1,28 @@
 // mcbsim — command-line driver for the MCB library.
 //
 //   mcbsim sort    --p 16 --k 4 --n 1024 [--shape even] [--seed 1]
-//                  [--algorithm auto] [--json]
+//                  [--algorithm auto] [--engine event|reference] [--json]
 //   mcbsim select  --p 16 --k 4 --n 1024 [--rank d | median by default]
-//                  [--shape even] [--seed 1] [--json]
+//                  [--shape even] [--seed 1] [--engine event|reference]
+//                  [--json]
 //   mcbsim psum    --p 16 --k 4 [--op add|max|min]
 //   mcbsim trace   --p 4  [--n 48] [--seed 3]   (cycle-level channel dump)
 //   mcbsim bounds  --p 16 --k 4 --n 1024 [--shape even] [--d rank]
 //   mcbsim sweep   --p 8,16 --k 2,4 --n 1024 [--shapes even,zipf]
 //                  [--algorithms auto,select] [--seeds 3] [--seed 1]
-//                  [--threads N] [--engine event|reference] [--json]
+//                  [--threads N] [--engine event|reference] [--check]
+//                  [--json]
+//   mcbsim gates   <bench.json>   (scan a BENCH_*.json for gate results)
 //
-// Exit code 0 on success; 2 on usage errors.
+// sort/select/trace/sweep accept --check: attach the model-conformance
+// checker (src/check) to the run and fail (exit 1) on any violation.
+//
+// Exit code 0 on success; 2 on usage errors; 1 on conformance violations or
+// failed trials; `gates` exits 1 on a failed enforced gate and 3 when
+// unenforced gates are present (tools/ci.sh turns 3 into a loud WARNING).
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "harness/sweep.hpp"
@@ -94,6 +104,25 @@ void print_stats_text(const RunStats& stats, std::ostream& os) {
   os << t;
 }
 
+std::vector<std::size_t> input_sizes(
+    const std::vector<std::vector<Word>>& inputs) {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(inputs.size());
+  for (const auto& in : inputs) sizes.push_back(in.size());
+  return sizes;
+}
+
+/// Shared --engine flag (sort/select/trace/sweep): both engines expose the
+/// same observable behaviour, so every run — checked ones in particular —
+/// can be replayed on either.
+Engine parse_engine(const util::Cli& cli) {
+  const auto engine = cli.get_string("engine", "event");
+  if (engine == "reference") return Engine::kReference;
+  if (engine == "event") return Engine::kEventDriven;
+  throw std::invalid_argument("unknown engine '" + engine +
+                              "' (event|reference)");
+}
+
 int cmd_sort(const util::Cli& cli) {
   const auto p = cli.get_uint("p", 16);
   const auto k = cli.get_uint("k", 4);
@@ -103,21 +132,32 @@ int cmd_sort(const util::Cli& cli) {
   const auto algorithm =
       algo::sort_algorithm_from_string(cli.get_string("algorithm", "auto"));
   const bool json = cli.get_bool("json");
+  const bool do_check = cli.get_bool("check");
 
   auto w = util::make_workload(n, p, shape, seed);
-  auto res = algo::sort({.p = p, .k = k}, w.inputs, {.algorithm = algorithm});
+  const SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  std::optional<check::ConformanceChecker> checker;
+  if (do_check) {
+    checker.emplace(cfg);
+    checker->expect_sorting_bounds(input_sizes(w.inputs));
+  }
+  auto res = algo::sort(cfg, w.inputs, {.algorithm = algorithm},
+                        do_check ? &*checker : nullptr);
+  if (do_check) checker->finish(res.run.stats);
   if (json) {
     std::cout << "{\"algorithm\":\""
               << util::json_escape(algo::to_string(res.used)) << "\",";
     std::cout << "\"stats\":";
     print_stats_json(res.run.stats, std::cout);
+    if (do_check) std::cout << ",\"conformance\":" << checker->report().json();
     std::cout << "}\n";
   } else {
     std::cout << "sorted n=" << n << " over MCB(" << p << "," << k
               << ") with " << algo::to_string(res.used) << "\n";
     print_stats_text(res.run.stats, std::cout);
+    if (do_check) std::cout << checker->report().summary();
   }
-  return 0;
+  return do_check && !checker->report().ok() ? 1 : 0;
 }
 
 int cmd_select(const util::Cli& cli) {
@@ -129,9 +169,14 @@ int cmd_select(const util::Cli& cli) {
   const auto d = cli.get_uint("rank", (n + 1) / 2);
   const bool json = cli.get_bool("json");
   const bool shout_echo = cli.get_bool("shout-echo");
+  const bool do_check = cli.get_bool("check");
 
   auto w = util::make_workload(n, p, shape, seed);
   if (shout_echo) {
+    if (do_check) {
+      std::cerr << "warning: --check applies to MCB runs only; the "
+                   "shout-echo model has no cycle-level observer\n";
+    }
     auto res = se::se_select_rank(w.inputs, d);
     if (json) {
       std::cout << "{\"value\":" << res.value
@@ -144,18 +189,28 @@ int cmd_select(const util::Cli& cli) {
     }
     return 0;
   }
-  auto res = algo::select_rank({.p = p, .k = k}, w.inputs, d);
+  const SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  std::optional<check::ConformanceChecker> checker;
+  if (do_check) {
+    checker.emplace(cfg);
+    checker->expect_selection_bounds(input_sizes(w.inputs), d);
+  }
+  auto res = algo::select_rank(cfg, w.inputs, d, {},
+                               do_check ? &*checker : nullptr);
+  if (do_check) checker->finish(res.stats);
   if (json) {
     std::cout << "{\"value\":" << res.value
               << ",\"filter_phases\":" << res.filter_phases << ",\"stats\":";
     print_stats_json(res.stats, std::cout);
+    if (do_check) std::cout << ",\"conformance\":" << checker->report().json();
     std::cout << "}\n";
   } else {
     std::cout << "N[" << d << "] = " << res.value << "  ("
               << res.filter_phases << " filtering phases)\n";
     print_stats_text(res.stats, std::cout);
+    if (do_check) std::cout << checker->report().summary();
   }
-  return 0;
+  return do_check && !checker->report().ok() ? 1 : 0;
 }
 
 int cmd_psum(const util::Cli& cli) {
@@ -191,13 +246,103 @@ int cmd_trace(const util::Cli& cli) {
   const auto p = cli.get_uint("p", 4);
   const auto n = cli.get_uint("n", p * p * (p - 1));
   const auto seed = cli.get_uint("seed", 3);
+  const bool do_check = cli.get_bool("check");
   ChannelTrace trace(cli.get_uint("limit", 256));
   auto w = util::make_workload(n, p, util::Shape::kEven, seed);
-  auto res = algo::columnsort_even({.p = p, .k = p}, w.inputs, {}, &trace);
+  const SimConfig cfg{.p = p, .k = p, .engine = parse_engine(cli)};
+  // With --check, the checker tees the unmodified event stream into the
+  // trace — observers chain.
+  std::optional<check::ConformanceChecker> checker;
+  if (do_check) {
+    checker.emplace(cfg, &trace);
+    checker->expect_sorting_bounds(input_sizes(w.inputs));
+  }
+  auto res = algo::columnsort_even(
+      cfg, w.inputs, {},
+      do_check ? static_cast<TraceSink*>(&*checker) : &trace);
+  if (do_check) checker->finish(res.run.stats);
   std::cout << "columnsort on MCB(" << p << "," << p << "), n=" << n << ": "
             << res.run.stats.cycles << " cycles\n"
             << trace.render(p);
-  return 0;
+  if (do_check) std::cout << checker->report().summary();
+  return do_check && !checker->report().ok() ? 1 : 0;
+}
+
+// Scans a BENCH_*.json artifact for gate objects — any JSON object with an
+// "enforced" member, wherever it nests — using the strict parser in
+// util/json (the previous grep-based scrape in tools/ci.sh broke on nested
+// objects). Exit codes: 0 all gates enforced and passed; 1 an enforced gate
+// failed (or the file has no gates at all); 3 unenforced gates present.
+int cmd_gates(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << '\n';
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = util::json_parse(buf.str());
+
+  struct Gate {
+    std::string where;
+    std::string name;
+    bool enforced = false;
+    bool passed = false;
+  };
+  std::vector<Gate> gates;
+  // Walk the whole document; a "gate" is any object carrying an "enforced"
+  // boolean (matches both the named gates array of BENCH_simspeed.json and
+  // the single anonymous gate object of BENCH_sweep.json).
+  auto walk = [&gates](const auto& self, const util::JsonValue& v,
+                       const std::string& where) -> void {
+    if (v.is_object()) {
+      const auto* enforced = v.find("enforced");
+      if (enforced != nullptr &&
+          enforced->kind() == util::JsonValue::Kind::kBool) {
+        Gate g;
+        g.where = where;
+        const auto* name = v.find("name");
+        g.name = name != nullptr &&
+                         name->kind() == util::JsonValue::Kind::kString
+                     ? name->as_string()
+                     : where;
+        g.enforced = enforced->as_bool();
+        const auto* passed = v.find("passed");
+        g.passed = passed != nullptr &&
+                   passed->kind() == util::JsonValue::Kind::kBool &&
+                   passed->as_bool();
+        gates.push_back(std::move(g));
+        return;
+      }
+      for (const auto& [key, member] : v.members()) {
+        self(self, member, where + "." + key);
+      }
+    } else if (v.is_array()) {
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        self(self, v.at(i), where + "[" + std::to_string(i) + "]");
+      }
+    }
+  };
+  walk(walk, doc, "$");
+
+  if (gates.empty()) {
+    std::cerr << "error: no gate objects (no \"enforced\" member) in "
+              << path << '\n';
+    return 1;
+  }
+  bool any_failed = false;
+  bool any_unenforced = false;
+  for (const auto& g : gates) {
+    const bool failed = g.enforced && !g.passed;
+    any_failed = any_failed || failed;
+    any_unenforced = any_unenforced || !g.enforced;
+    std::cout << (failed           ? "FAILED    "
+                  : !g.enforced    ? "UNENFORCED"
+                                   : "PASSED    ")
+              << "  " << g.name << "  (" << g.where << ")\n";
+  }
+  if (any_failed) return 1;
+  return any_unenforced ? 3 : 0;
 }
 
 int cmd_bounds(const util::Cli& cli) {
@@ -241,15 +386,10 @@ int cmd_sweep(const util::Cli& cli) {
   }
   sweep.base_seed = cli.get_uint("seed", 1);
   sweep.seeds = cli.get_uint("seeds", 1);
-  const auto engine = cli.get_string("engine", "event");
-  if (engine == "reference") {
-    sweep.engine = Engine::kReference;
-  } else if (engine != "event") {
-    throw std::invalid_argument("unknown engine '" + engine +
-                                "' (event|reference)");
-  }
+  sweep.engine = parse_engine(cli);
   const auto threads = cli.get_uint("threads", 0);
   const bool json = cli.get_bool("json");
+  sweep.check = cli.get_bool("check");
 
   auto run = harness::run_sweep(sweep, {.threads = threads});
 
@@ -298,16 +438,22 @@ int cmd_sweep(const util::Cli& cli) {
 
 int usage() {
   std::cerr <<
-      "usage: mcbsim <sort|select|psum|trace|bounds|sweep> [--flags]\n"
-      "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--json]\n"
-      "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo] "
-      "[--json]\n"
+      "usage: mcbsim <sort|select|psum|trace|bounds|sweep|gates> [--flags]\n"
+      "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--engine]"
+      " [--check] [--json]\n"
+      "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo]"
+      " [--engine] [--check] [--json]\n"
       "  psum    --p --k [--op add|max|min]\n"
-      "  trace   --p [--n] [--seed] [--limit]\n"
+      "  trace   --p [--n] [--seed] [--limit] [--engine] [--check]\n"
       "  bounds  --p --k --n [--shape] [--d]\n"
       "  sweep   --p 8,16 --k 2,4 --n 1024,4096 [--shapes even,zipf]\n"
       "          [--algorithms auto,select] [--seeds S] [--seed B]\n"
-      "          [--threads N] [--engine event|reference] [--json]\n";
+      "          [--threads N] [--engine event|reference] [--check] "
+      "[--json]\n"
+      "  gates   <bench.json>   exit 0 = all gates enforced+passed,\n"
+      "          1 = enforced gate failed, 3 = unenforced gates present\n"
+      "--check attaches the model-conformance checker (src/check): exit 1\n"
+      "and a violation report on any model-rule breach.\n";
   return 2;
 }
 
@@ -315,6 +461,12 @@ int usage() {
 
 int main(int argc, char** argv) {
   try {
+    // `gates` takes a positional file path, which the flag grammar of
+    // util::Cli does not cover — dispatch it before Cli::parse.
+    if (argc >= 2 && std::string(argv[1]) == "gates") {
+      if (argc != 3) return usage();
+      return cmd_gates(argv[2]);
+    }
     const auto cli = util::Cli::parse(argc, argv);
     int rc;
     if (cli.command() == "sort") {
