@@ -4,6 +4,7 @@
 #include "algo/partial_sums.hpp"
 #include "algo/uneven_sort.hpp"
 #include "mcb/network.hpp"
+#include "obs/span.hpp"
 #include "seq/sorting.hpp"
 #include "util/check.hpp"
 
@@ -24,30 +25,36 @@ ProcMain central_program(Proc& self, const std::vector<Word>& input,
 
   if (i == 0) self.mark_phase("gather");
   std::vector<Word> pool;
-  if (i == 0) {
-    // P_1 streams its own window, reads everyone else's.
-    pool.reserve(n);
-    for (std::size_t t = 0; t < n; ++t) {
-      if (t >= lo && t < hi) {
-        co_await self.write(0, Message::of(input[t - lo]));
-        pool.push_back(input[t - lo]);
-      } else {
-        auto got = co_await self.read(0);
-        MCB_CHECK(got.has_value(), "gather slot " << t << " empty");
-        pool.push_back(got->at(0));
+  {
+    // The span scope closes in the same resumption in which the "scatter"
+    // mark fires, so span and phase boundary stamps agree exactly.
+    obs::Span sp(self, "gather");
+    if (i == 0) {
+      // P_1 streams its own window, reads everyone else's.
+      pool.reserve(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        if (t >= lo && t < hi) {
+          co_await self.write(0, Message::of(input[t - lo]));
+          pool.push_back(input[t - lo]);
+        } else {
+          auto got = co_await self.read(0);
+          MCB_CHECK(got.has_value(), "gather slot " << t << " empty");
+          pool.push_back(got->at(0));
+        }
       }
+      self.note_aux(pool.size());
+      seq::sort_descending(pool);
+    } else {
+      if (lo > 0) co_await self.skip(lo);
+      for (Word w : input) {
+        co_await self.write(0, Message::of(w));
+      }
+      if (n > hi) co_await self.skip(n - hi);
     }
-    self.note_aux(pool.size());
-    seq::sort_descending(pool);
-  } else {
-    if (lo > 0) co_await self.skip(lo);
-    for (Word w : input) {
-      co_await self.write(0, Message::of(w));
-    }
-    if (n > hi) co_await self.skip(n - hi);
   }
 
   if (i == 0) self.mark_phase("scatter");
+  obs::Span sp(self, "scatter");
   // P_1 broadcasts the sorted order rank by rank; everyone keeps its
   // segment (ranks [lo, hi) — counts are preserved by sorting) and sleeps
   // outside its window.
@@ -82,32 +89,36 @@ ProcMain central_multiread_program(Proc& self, std::size_t ni,
   const std::size_t longest = ceil_div(p - 1, streams);
   const Cycle gather_cycles = static_cast<Cycle>(longest * ni);
   std::vector<Word> pool;
-  if (i == 0) {
-    pool.reserve(n);
-    pool.insert(pool.end(), input.begin(), input.end());
-    for (Cycle t = 0; t < gather_cycles; ++t) {
-      auto got = co_await self.cycle_all(std::nullopt);
-      for (const auto& msg : got) {
-        if (msg) pool.push_back(msg->at(0));
+  {
+    obs::Span sp(self, "gather-multiread");
+    if (i == 0) {
+      pool.reserve(n);
+      pool.insert(pool.end(), input.begin(), input.end());
+      for (Cycle t = 0; t < gather_cycles; ++t) {
+        auto got = co_await self.cycle_all(std::nullopt);
+        for (const auto& msg : got) {
+          if (msg) pool.push_back(msg->at(0));
+        }
       }
+      MCB_CHECK(pool.size() == n, "collector holds " << pool.size() << " of "
+                                                     << n);
+      self.note_aux(pool.size());
+      seq::sort_descending(pool);
+    } else {
+      const std::size_t stream = (i - 1) % streams;
+      const std::size_t slot = (i - 1) / streams;
+      if (slot > 0) co_await self.skip(static_cast<Cycle>(slot * ni));
+      for (Word w : input) {
+        co_await self.write(static_cast<ChannelId>(stream), Message::of(w));
+      }
+      const Cycle rest = gather_cycles - static_cast<Cycle>((slot + 1) * ni);
+      if (rest > 0) co_await self.skip(rest);
     }
-    MCB_CHECK(pool.size() == n, "collector holds " << pool.size() << " of "
-                                                   << n);
-    self.note_aux(pool.size());
-    seq::sort_descending(pool);
-  } else {
-    const std::size_t stream = (i - 1) % streams;
-    const std::size_t slot = (i - 1) / streams;
-    if (slot > 0) co_await self.skip(static_cast<Cycle>(slot * ni));
-    for (Word w : input) {
-      co_await self.write(static_cast<ChannelId>(stream), Message::of(w));
-    }
-    const Cycle rest = gather_cycles - static_cast<Cycle>((slot + 1) * ni);
-    if (rest > 0) co_await self.skip(rest);
   }
 
   // --- scatter: rank by rank on channel 0 (the single-writer bottleneck) --
   if (i == 0) self.mark_phase("scatter");
+  obs::Span sp(self, "scatter");
   const std::size_t lo = i * ni;
   const std::size_t hi = lo + ni;
   output.reserve(ni);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace mcb::algo {
 
 Task<Word> reduce(Proc& self, Word value, const SumOp& op) {
+  obs::Span sp(self, "reduce");
   const auto res =
       co_await partial_sums(self, value, op, {.with_total = true});
   co_return res.total;
@@ -14,6 +16,7 @@ Task<Word> reduce(Proc& self, Word value, const SumOp& op) {
 
 Task<Word> broadcast_value(Proc& self, ProcId root, Word value) {
   MCB_REQUIRE(root < self.p(), "root " << root << " of " << self.p());
+  obs::Span sp(self, "broadcast");
   if (self.id() == root) {
     co_await self.write(0, Message::of(value));
     co_return value;

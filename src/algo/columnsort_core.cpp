@@ -1,5 +1,6 @@
 #include "algo/columnsort_core.hpp"
 
+#include "obs/span.hpp"
 #include "seq/columnsort.hpp"
 #include "seq/sorting.hpp"
 #include "util/check.hpp"
@@ -88,15 +89,42 @@ Task<void> columnsort_phases(Proc& self, const CorePlan& plan,
   MCB_CHECK(column.size() == plan.m,
             "column length " << column.size() << " != m=" << plan.m);
   self.note_aux(column.size());
-  sort_column_desc(column);                                  // phase 1
+  // Phase spans: the odd (local sort) phases cost zero cycles by the model
+  // — local computation is free — so their spans record a 0-cycle mark;
+  // the transform phases carry the communication.
+  {
+    obs::Span sp(self, "cs.phase1.sort");                    // phase 1
+    sort_column_desc(column);
+  }
   if (plan.kk > 1) {
-    co_await run_transform(self, plan, 0, my_col, column);   // phase 2
-    sort_column_desc(column);                                // phase 3
-    co_await run_transform(self, plan, 1, my_col, column);   // phase 4
-    sort_column_desc(column);                                // phase 5
-    co_await run_transform(self, plan, 2, my_col, column);   // phase 6
-    if (my_col != 0) sort_column_desc(column);               // phase 7
-    co_await run_transform(self, plan, 3, my_col, column);   // phase 8
+    {
+      obs::Span sp(self, "cs.phase2.transform");             // phase 2
+      co_await run_transform(self, plan, 0, my_col, column);
+    }
+    {
+      obs::Span sp(self, "cs.phase3.sort");                  // phase 3
+      sort_column_desc(column);
+    }
+    {
+      obs::Span sp(self, "cs.phase4.transform");             // phase 4
+      co_await run_transform(self, plan, 1, my_col, column);
+    }
+    {
+      obs::Span sp(self, "cs.phase5.sort");                  // phase 5
+      sort_column_desc(column);
+    }
+    {
+      obs::Span sp(self, "cs.phase6.transform");             // phase 6
+      co_await run_transform(self, plan, 2, my_col, column);
+    }
+    if (my_col != 0) {
+      obs::Span sp(self, "cs.phase7.sort");                  // phase 7
+      sort_column_desc(column);
+    }
+    {
+      obs::Span sp(self, "cs.phase8.transform");             // phase 8
+      co_await run_transform(self, plan, 3, my_col, column);
+    }
     // Phase 9 (local re-sort) is unnecessary: the schedules place every
     // element at its exact destination row, so after phase 8 the column is
     // already in final order.

@@ -1,5 +1,6 @@
 #include "algo/columnsort_even.hpp"
 
+#include "obs/span.hpp"
 #include "seq/columnsort.hpp"
 #include "util/check.hpp"
 
@@ -50,8 +51,12 @@ Task<void> columnsort_even_collective(Proc& self, const EvenSortPlan& plan,
 
   std::vector<KV> column;
 
+  // Span names carry the "even." prefix so they never collide with the
+  // PhaseStats names of whatever program hosts this collective (the
+  // recorder's reconcile pass matches phases and spans by name).
   // --- phase 0: gather the group's elements at the representative ---------
   if (plan.g > 1) {
+    obs::Span sp(self, "even.gather");
     const Cycle gather_cycles = static_cast<Cycle>((plan.g - 1) * plan.ni);
     if (!is_rep) {
       if (idx > 0) co_await self.skip(static_cast<Cycle>(idx * plan.ni));
@@ -75,11 +80,14 @@ Task<void> columnsort_even_collective(Proc& self, const EvenSortPlan& plan,
   }
 
   // --- phases 1-9: Columnsort over the representatives' columns -----------
-  if (is_rep) {
-    column.resize(m, KV{kDummy, 0});  // pad so kk | m
-    co_await detail::columnsort_phases(self, plan.core, j, column);
-  } else {
-    co_await detail::core_skip(self, plan.core);
+  {
+    obs::Span sp(self, "even.core");
+    if (is_rep) {
+      column.resize(m, KV{kDummy, 0});  // pad so kk | m
+      co_await detail::columnsort_phases(self, plan.core, j, column);
+    } else {
+      co_await detail::core_skip(self, plan.core);
+    }
   }
 
   // --- phase 10: redistribute sorted segments ------------------------------
@@ -87,6 +95,7 @@ Task<void> columnsort_even_collective(Proc& self, const EvenSortPlan& plan,
     data = std::move(column);
     co_return;
   }
+  obs::Span sp(self, "even.redistribute");
   const std::size_t lo = i * plan.ni;  // this processor's final ranks
   co_await detail::redistribute(self, plan.core, is_rep, j, column, plan.n,
                                 lo, lo + plan.ni, data);
@@ -99,6 +108,7 @@ ProcMain pairs_program(Proc& self, const EvenSortPlan& plan,
                        std::vector<KV>& output) {
   output = input;
   if (self.id() == 0) self.mark_phase("even-columnsort");
+  obs::Span sp(self, "even-columnsort");
   co_await columnsort_even_collective(self, plan, output);
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/check.hpp"
 
 namespace mcb::algo {
@@ -42,6 +43,7 @@ Task<PartialSumsResult> partial_sums(Proc& self, Word a_i, const SumOp& op,
   const std::size_t depth = ceil_log2(p);
   const std::size_t p2 = std::size_t{1} << depth;
 
+  obs::Span sp(self, "partial-sums");
   PartialSumsResult out;
   if (p == 1) {
     out.before = op.identity;

@@ -6,6 +6,7 @@
 #include "algo/common.hpp"
 #include "algo/partial_sums.hpp"
 #include "mcb/network.hpp"
+#include "obs/span.hpp"
 #include "seq/selection.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
@@ -44,16 +45,23 @@ ProcMain selection_program(Proc& self, const SelCtx& ctx,
   bool done = false;
 
   // Learn the initial candidate count (every processor must know whether
-  // filtering is needed at all).
+  // filtering is needed at all). The span scope must close in the same
+  // resumption in which the next mark_phase fires, so that the span and
+  // the phase agree on their (cycle, messages) boundary stamps exactly.
   if (i == 0) self.mark_phase("setup");
-  const auto init = co_await partial_sums(
-      self, static_cast<Word>(cands.size()), SumOp::add(),
-      {.with_total = true});
-  std::size_t m_known = static_cast<std::size_t>(init.total);
+  std::size_t m_known = 0;
+  {
+    obs::Span sp(self, "setup");
+    const auto init = co_await partial_sums(
+        self, static_cast<Word>(cands.size()), SumOp::add(),
+        {.with_total = true});
+    m_known = static_cast<std::size_t>(init.total);
+  }
 
   // --- filtering phases ----------------------------------------------------
   while (!done && m_known > ctx.threshold) {
     if (i == 0) self.mark_phase("filter");
+    obs::Span sp(self, "filter");
     ++phases;
     phase_candidates.push_back(m_known);
 
@@ -112,6 +120,7 @@ ProcMain selection_program(Proc& self, const SelCtx& ctx,
 
   // --- termination phase ----------------------------------------------------
   if (i == 0) self.mark_phase("terminate");
+  obs::Span sp_term(self, "terminate");
   if (!done) {
     // Prefix offsets give every processor a write window on channel 0;
     // P_1 appends its own survivors locally during its window and reads

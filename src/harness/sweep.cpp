@@ -52,6 +52,19 @@ void fill_stats(TrialResult& r, const RunStats& stats) {
   r.arena_hit_rate = stats.arena_hit_rate;
 }
 
+void fill_spans(TrialResult& r, const obs::Recorder& rec,
+                const RunStats& stats) {
+  r.spans = rec.summarize();
+  const auto problems = rec.reconcile(stats);
+  if (!problems.empty()) {
+    std::string msg = "span reconciliation failed: " + problems.front();
+    if (problems.size() > 1) {
+      msg += " (+" + std::to_string(problems.size() - 1) + " more)";
+    }
+    r.error = r.error.empty() ? msg : r.error + "; " + msg;
+  }
+}
+
 double mean_ratio(const std::vector<double>& measured,
                   const std::vector<double>& predicted) {
   double sum = 0.0;
@@ -131,7 +144,8 @@ std::vector<TrialSpec> expand(const Sweep& sweep) {
   return specs;
 }
 
-TrialResult run_trial(const TrialSpec& spec, Engine engine, bool check) {
+TrialResult run_trial(const TrialSpec& spec, Engine engine, bool check,
+                      bool obs) {
   TrialResult r;
   const GridPoint& pt = spec.point;
   try {
@@ -143,6 +157,11 @@ TrialResult run_trial(const TrialSpec& spec, Engine engine, bool check) {
     std::optional<check::ConformanceChecker> checker;
     if (check) checker.emplace(cfg);
     TraceSink* sink = check ? &*checker : nullptr;
+    std::optional<obs::Recorder> recorder;
+    if (obs) {
+      recorder.emplace();
+      cfg.span_sink = &*recorder;
+    }
     std::vector<std::size_t> sizes;
     if (check) {
       sizes.reserve(w.inputs.size());
@@ -161,6 +180,7 @@ TrialResult run_trial(const TrialSpec& spec, Engine engine, bool check) {
       auto res = algo::select_median(cfg, w.inputs, {}, sink);
       fill_stats(r, res.stats);
       if (check) checker->finish(res.stats);
+      if (obs) fill_spans(r, *recorder, res.stats);
       r.algorithm_used = "selection";
       r.predicted_cycles = theory::selection_cycles_term(pt.p, pt.k, pt.n);
       r.predicted_messages =
@@ -180,6 +200,7 @@ TrialResult run_trial(const TrialSpec& spec, Engine engine, bool check) {
           sink);
       fill_stats(r, res.run.stats);
       if (check) checker->finish(res.run.stats);
+      if (obs) fill_spans(r, *recorder, res.run.stats);
       r.algorithm_used = algo::to_string(res.used);
       r.predicted_cycles =
           theory::sorting_cycles_term(pt.n, pt.k, w.max_local());
@@ -242,7 +263,8 @@ SweepRun run_sweep(const Sweep& sweep, const SweepOptions& opts) {
   // Each worker writes only results[i] for the indices it claims; trials
   // share no other mutable state (see harness/thread_pool.hpp).
   parallel_for_index(run.specs.size(), opts.threads, [&](std::size_t i) {
-    run.results[i] = run_trial(run.specs[i], sweep.engine, sweep.check);
+    run.results[i] =
+        run_trial(run.specs[i], sweep.engine, sweep.check, sweep.obs);
   });
   run.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -286,8 +308,11 @@ std::string sweep_json(const SweepRun& run) {
   os << "{\n  \"sweep\": {\"base_seed\": " << run.sweep.base_seed
      << ", \"seeds\": " << run.sweep.seeds << ", \"engine\": \""
      << engine_name(run.sweep.engine) << "\", \"check\": "
-     << (run.sweep.check ? "true" : "false")
-     << ", \"points\": " << run.aggregates.size()
+     << (run.sweep.check ? "true" : "false");
+  // Emitted only when on, so obs-off output stays byte-identical to
+  // pre-telemetry versions of this serializer.
+  if (run.sweep.obs) os << ", \"obs\": true";
+  os << ", \"points\": " << run.aggregates.size()
      << ", \"trials\": " << run.results.size() << "},\n";
 
   os << "  \"trials\": [\n";
@@ -310,8 +335,19 @@ std::string sweep_json(const SweepRun& run) {
        << ", \"arena_hit_rate\": " << fmt(res.arena_hit_rate)
        << ", \"predicted_cycles\": " << fmt(res.predicted_cycles)
        << ", \"predicted_messages\": " << fmt(res.predicted_messages)
-       << ", \"conformance_violations\": " << res.conformance_violations
-       << ", \"error\": \"" << util::json_escape(res.error) << "\"}"
+       << ", \"conformance_violations\": " << res.conformance_violations;
+    if (run.sweep.obs) {
+      os << ", \"spans\": [";
+      for (std::size_t s = 0; s < res.spans.size(); ++s) {
+        const auto& sp = res.spans[s];
+        os << (s == 0 ? "" : ", ") << "{\"name\": \""
+           << util::json_escape(sp.name) << "\", \"count\": " << sp.count
+           << ", \"cycles\": " << sp.cycles
+           << ", \"messages\": " << sp.messages << '}';
+      }
+      os << ']';
+    }
+    os << ", \"error\": \"" << util::json_escape(res.error) << "\"}"
        << (i + 1 < run.specs.size() ? ",\n" : "\n");
   }
   os << "  ],\n";

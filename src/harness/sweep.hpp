@@ -32,6 +32,7 @@
 
 #include "mcb/sim_config.hpp"
 #include "mcb/types.hpp"
+#include "obs/span.hpp"
 #include "util/workload.hpp"
 
 namespace mcb::harness {
@@ -74,6 +75,14 @@ struct Sweep {
   /// aborting the sweep. Deterministic given the spec, so serialized.
   bool check = false;
 
+  /// Attach an obs::Recorder to every trial: phase spans are collected,
+  /// reconciled against the run's PhaseStats (a reconciliation failure
+  /// becomes the trial's error) and summarized into TrialResult::spans.
+  /// Deterministic given the spec, so the summaries are serialized — the
+  /// "spans" arrays appear in the JSON only when this flag is on, keeping
+  /// obs-off output byte-identical to previous versions.
+  bool obs = false;
+
   /// Grid points in stable enumeration order.
   std::vector<GridPoint> points() const;
   std::size_t trials() const { return points().size() * seeds; }
@@ -114,6 +123,9 @@ struct TrialResult {
   /// Model-conformance violations found by the checker (0 when the sweep
   /// ran without Sweep::check, or when the run conformed).
   std::uint64_t conformance_violations = 0;
+  /// Per-phase span summaries (first-appearance order); populated only when
+  /// the sweep ran with Sweep::obs. Deterministic given the spec.
+  std::vector<obs::SpanSummary> spans;
   std::string algorithm_used;  ///< resolved algorithm (e.g. auto -> ...)
   std::string error;           ///< empty on success
   bool ok() const { return error.empty(); }
@@ -167,9 +179,11 @@ std::vector<TrialSpec> expand(const Sweep& sweep);
 
 /// Runs one trial on the calling thread (pure given the spec). With
 /// `check`, a ConformanceChecker observes the run; violations become the
+/// trial's error. With `obs`, an obs::Recorder collects phase spans into
+/// TrialResult::spans; a span/PhaseStats reconciliation failure becomes the
 /// trial's error.
 TrialResult run_trial(const TrialSpec& spec, Engine engine,
-                      bool check = false);
+                      bool check = false, bool obs = false);
 
 /// Runs the whole sweep on a worker pool and aggregates.
 SweepRun run_sweep(const Sweep& sweep, const SweepOptions& opts = {});

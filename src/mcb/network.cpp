@@ -71,6 +71,18 @@ void Network::on_sleep(Proc& pr, Cycle t) {
   }
 }
 
+void Network::span_begin(std::string_view name) {
+  if (cfg_.span_sink != nullptr) {
+    cfg_.span_sink->on_span_begin(name, now_, stats_.messages);
+  }
+}
+
+void Network::span_end() {
+  if (cfg_.span_sink != nullptr) {
+    cfg_.span_sink->on_span_end(now_, stats_.messages);
+  }
+}
+
 void Network::mark_phase(std::string name) {
   finish_phase();
   phase_name_ = std::move(name);
@@ -141,9 +153,7 @@ RunStats Network::run() {
                            .count();
   stats_.sim_wall_ns = static_cast<std::uint64_t>(wall_ns);
   stats_.cycles_per_sec =
-      wall_ns > 0 ? static_cast<double>(stats_.cycles) * 1e9 /
-                        static_cast<double>(wall_ns)
-                  : 0.0;
+      safe_cycles_per_sec(stats_.cycles, stats_.sim_wall_ns);
 
   // Allocation telemetry (host-side, like sim_wall_ns; all zero under
   // MCB_FRAME_ARENA=OFF where frames go through plain global new).

@@ -29,6 +29,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mcb/coro.hpp"
@@ -71,6 +72,12 @@ class Network {
 
   /// Starts a named accounting phase at the current cycle.
   void mark_phase(std::string name);
+
+  /// Span marks forwarded to SimConfig::span_sink (obs::Span), stamped with
+  /// the current cycle and network-wide message count. No-ops (one branch)
+  /// without a sink.
+  void span_begin(std::string_view name);
+  void span_end();
 
  private:
   friend class Proc;

@@ -61,6 +61,10 @@ void Proc::note_aux(std::size_t words) {
 
 void Proc::mark_phase(std::string name) { net_->mark_phase(std::move(name)); }
 
+void Proc::span_begin(std::string_view name) { net_->span_begin(name); }
+
+void Proc::span_end() { net_->span_end(); }
+
 void Proc::CycleAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
   proc.resume_point_ = h;
   proc.net_->on_cycle_op(proc);

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mcb/coro.hpp"
@@ -70,6 +71,12 @@ class Proc {
   /// Marks the start of a named algorithm phase (records global cycle and
   /// message counters). By convention only processor 0 calls this.
   void mark_phase(std::string name);
+
+  /// Span marks forwarded to the network's SpanSink (see obs::Span, which
+  /// is the intended RAII entry point). By convention only processor 0
+  /// emits spans; no-ops without a sink.
+  void span_begin(std::string_view name);
+  void span_end();
 
   // --- awaiters -----------------------------------------------------------
 

@@ -7,6 +7,8 @@
 
 namespace mcb {
 
+class SpanSink;
+
 /// Which simulation engine drives Network::run(). Both implement the exact
 /// same synchronous-cycle semantics and produce bit-identical statistics
 /// (cycles, messages, phases — see docs/ENGINE.md); they differ only in
@@ -40,6 +42,13 @@ struct SimConfig {
 
   /// Simulation engine (identical observable behaviour either way).
   Engine engine = Engine::kEventDriven;
+
+  /// Host-side observer for protocol phase spans (obs::Span); not part of
+  /// the model's configuration and excluded from engine-equivalence
+  /// comparisons. Riding on SimConfig lets it reach the Network that
+  /// algo::sort / select construct internally. Must outlive the run.
+  /// nullptr (the default) costs one branch per span mark.
+  SpanSink* span_sink = nullptr;
 
   void validate() const {
     MCB_REQUIRE(p >= 1, "need at least one processor");

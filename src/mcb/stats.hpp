@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,11 @@ struct PhaseStats {
   Cycle cycles = 0;        ///< number of cycles spanned
   std::uint64_t messages = 0;
 };
+
+/// Simulated cycles per host second, guarded against sub-resolution runs:
+/// a run so short that the steady clock measured sim_wall_ns == 0 reports
+/// 0.0 rather than leaking inf/NaN into JSON consumers.
+double safe_cycles_per_sec(Cycle cycles, std::uint64_t wall_ns);
 
 struct RunStats {
   Cycle cycles = 0;              ///< total cycles until quiescence

@@ -7,7 +7,7 @@ namespace mcb {
 
 void ChannelTrace::on_event(const CycleEvent& ev) {
   if (events_.size() >= capacity_) {
-    truncated_ = true;
+    ++dropped_;
     return;
   }
   events_.push_back(ev);
@@ -47,7 +47,7 @@ std::string ChannelTrace::render(std::size_t num_channels) const {
       os << '\n';
     }
   }
-  if (truncated_) os << "... (trace truncated)\n";
+  if (dropped_ > 0) os << "... (+" << dropped_ << " dropped)\n";
 
   // Per-channel utilization over the traced span: how many of the traced
   // cycles each channel carried a write.

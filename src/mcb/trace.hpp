@@ -4,10 +4,19 @@
 // that occurred. The default sink is null (zero overhead beyond a branch);
 // the bundled ChannelTrace collects a bounded in-memory log used by the
 // trace_visualizer example and by tests that assert on exact schedules.
+// TeeSink fans one event stream out to several observers so tracing,
+// conformance checking and the obs/ timeline can watch one run at once.
+//
+// A SpanSink receives the begin/end marks of named protocol spans
+// (obs::Span). It is a separate seam from TraceSink because spans are
+// emitted by protocol code at phase granularity, not by the engine at cycle
+// granularity; a network with no span sink pays one branch per mark.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mcb/message.hpp"
@@ -37,8 +46,53 @@ class TraceSink {
   virtual void on_event(const CycleEvent& ev) = 0;
 };
 
-/// Records events up to a capacity cap (drops silently beyond it to keep
-/// long benchmark runs bounded); renders a per-cycle channel map.
+/// Span observer interface: receives the begin/end marks that obs::Span
+/// emits from protocol code, stamped with the simulated cycle and the
+/// network-wide message count at the mark. Implementations must not mutate
+/// the network. Begin/end arrive properly nested (RAII in one coroutine).
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span_begin(std::string_view name, Cycle cycle,
+                             std::uint64_t messages) = 0;
+  virtual void on_span_end(Cycle cycle, std::uint64_t messages) = 0;
+};
+
+/// Fans one event stream out to several sinks, in registration order.
+/// Null sinks are skipped at add() time so callers can tee over optional
+/// observers without branching.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::initializer_list<TraceSink*> sinks) {
+    for (TraceSink* s : sinks) add(s);
+  }
+
+  void add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  std::size_t size() const { return sinks_.size(); }
+
+  /// The tee collapsed to the cheapest equivalent sink: nullptr when empty,
+  /// the sole sink when singular, this otherwise.
+  TraceSink* as_sink() {
+    if (sinks_.empty()) return nullptr;
+    if (sinks_.size() == 1) return sinks_.front();
+    return this;
+  }
+
+  void on_event(const CycleEvent& ev) override {
+    for (TraceSink* s : sinks_) s->on_event(ev);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Records events up to a capacity cap (drops beyond it to keep long
+/// benchmark runs bounded, but counts what it dropped); renders a per-cycle
+/// channel map.
 class ChannelTrace final : public TraceSink {
  public:
   explicit ChannelTrace(std::size_t capacity = 1u << 16)
@@ -47,17 +101,20 @@ class ChannelTrace final : public TraceSink {
   void on_event(const CycleEvent& ev) override;
 
   const std::vector<CycleEvent>& events() const { return events_; }
-  bool truncated() const { return truncated_; }
+  /// Events discarded once the capacity cap was hit.
+  std::uint64_t dropped() const { return dropped_; }
+  bool truncated() const { return dropped_ > 0; }
 
   /// "cycle 3: P2 -> C1 [42]; P4 reads C1" style rendering, followed by a
-  /// per-channel utilization footer (writes per channel over the traced
-  /// span) sized by `num_channels` — channels beyond it that appear in the
-  /// events are still shown.
+  /// "... (+N dropped)" footer when the cap was hit and a per-channel
+  /// utilization footer (writes per channel over the traced span) sized by
+  /// `num_channels` — channels beyond it that appear in the events are
+  /// still shown.
   std::string render(std::size_t num_channels) const;
 
  private:
   std::size_t capacity_;
-  bool truncated_ = false;
+  std::uint64_t dropped_ = 0;
   std::vector<CycleEvent> events_;
 };
 

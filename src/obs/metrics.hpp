@@ -1,0 +1,79 @@
+// A small metrics registry: counters, gauges and exact-quantile histograms.
+//
+// The registry is the bridge between the raw telemetry collectors (span
+// Recorder, Timeline) and the renderers/exporters: collect_metrics() folds
+// a finished run into named metrics, and render()/json() emit them with
+// deterministic ordering (name-sorted) and formatting, so two runs of the
+// same deterministic simulation produce byte-identical output.
+//
+// Histograms are exact, not sketched: the consumers record at most
+// O(max_buckets + spans) values per run, so storing them and computing
+// nearest-rank p50/p95 plus the true max costs less than a sketch would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mcb/stats.hpp"
+
+namespace mcb::obs {
+
+class Recorder;
+class Timeline;
+
+/// Exact-quantile histogram (nearest-rank, matching harness::summarize).
+struct Histogram {
+  std::vector<double> values;
+
+  void record(double v) { values.push_back(v); }
+  std::uint64_t count() const { return values.size(); }
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double max() const;
+  /// Nearest-rank quantile: ceil(q * count)-th smallest; 0 when empty.
+  double quantile(double q) const;
+};
+
+class Metrics {
+ public:
+  /// Counter: monotone uint64, add() accumulates.
+  void add(const std::string& name, std::uint64_t delta);
+  /// Gauge: last-write-wins double.
+  void set(const std::string& name, double value);
+  /// Histogram sample.
+  void observe(const std::string& name, double value);
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Deterministic aligned-table rendering (counters, gauges, then
+  /// histograms with count/p50/p95/max columns).
+  std::string render() const;
+
+  /// Deterministic JSON object:
+  /// {"counters": {...}, "gauges": {...},
+  ///  "histograms": {"x": {"count": n, "p50": ..., "p95": ..., "max": ...}}}
+  std::string json() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Folds a finished run into the registry: totals from `stats`, per-channel
+/// and idle/busy accounting from the timeline, per-phase aggregates from
+/// the span recorder. Either collector may be null.
+Metrics collect_metrics(const RunStats& stats, const Recorder* spans,
+                        const Timeline* timeline);
+
+}  // namespace mcb::obs

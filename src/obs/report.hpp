@@ -1,0 +1,30 @@
+// Deterministic Markdown run reports from mcbsim's machine-readable output.
+//
+// `mcbsim report <run.json|sweep.json>` feeds a previously captured
+// --json document back through this renderer: phase tables, span
+// aggregates, per-channel utilization sparklines (from the --obs timeline)
+// and measured-vs-theory ratios recomputed from src/theory. The renderer
+// reads only deterministic fields — never sim_wall_ns, cycles_per_sec or
+// other host-side timing — so the report of a given logical run is
+// byte-identical across repetitions, engines and sweep thread counts
+// (tools/ci.sh cmp's two independent invocations to pin this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mcb::obs {
+
+/// ASCII sparkline of `values` scaled to [0, max(values)], one character
+/// per value (10 intensity levels, ' ' = zero). Deterministic.
+std::string spark(const std::vector<double>& values);
+
+/// Renders the Markdown report for a parsed mcbsim --json document: either
+/// a single run (sort/select) or a sweep. Throws std::invalid_argument when
+/// the document is neither.
+std::string report_markdown(const util::JsonValue& doc);
+
+}  // namespace mcb::obs

@@ -1,0 +1,97 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcb::obs {
+
+void Recorder::on_span_begin(std::string_view name, Cycle cycle,
+                             std::uint64_t messages) {
+  if (records_.size() >= capacity_) {
+    // Keep the stream balanced: push a sentinel so the matching end is
+    // swallowed rather than closing an unrelated span.
+    ++dropped_;
+    stack_.push_back(kNoParent);
+    return;
+  }
+  SpanRecord rec;
+  rec.name.assign(name);
+  rec.parent = stack_.empty() ? kNoParent : stack_.back();
+  rec.depth = stack_.size();
+  rec.begin_cycle = cycle;
+  rec.begin_messages = messages;
+  max_depth_ = std::max(max_depth_, rec.depth);
+  stack_.push_back(records_.size());
+  records_.push_back(std::move(rec));
+}
+
+void Recorder::on_span_end(Cycle cycle, std::uint64_t messages) {
+  if (stack_.empty()) {
+    // Unbalanced end — count it as a drop; reconcile() will flag the
+    // stream as ill-formed via the unclosed/over-closed accounting.
+    ++dropped_;
+    return;
+  }
+  const std::size_t idx = stack_.back();
+  stack_.pop_back();
+  if (idx == kNoParent) return;  // end of a dropped span
+  SpanRecord& rec = records_[idx];
+  rec.end_cycle = cycle;
+  rec.end_messages = messages;
+  rec.closed = true;
+}
+
+bool Recorder::well_formed() const {
+  if (!stack_.empty()) return false;
+  return std::all_of(records_.begin(), records_.end(),
+                     [](const SpanRecord& r) { return r.closed; });
+}
+
+std::vector<SpanSummary> Recorder::summarize() const {
+  std::vector<SpanSummary> out;
+  for (const auto& rec : records_) {
+    if (!rec.closed) continue;
+    auto it = std::find_if(out.begin(), out.end(), [&](const SpanSummary& s) {
+      return s.name == rec.name;
+    });
+    if (it == out.end()) {
+      out.push_back(SpanSummary{rec.name, 0, 0, 0});
+      it = out.end() - 1;
+    }
+    ++it->count;
+    it->cycles += rec.cycles();
+    it->messages += rec.messages();
+  }
+  return out;
+}
+
+std::vector<std::string> Recorder::reconcile(const RunStats& stats) const {
+  std::vector<std::string> problems;
+  if (!well_formed()) {
+    std::ostringstream os;
+    os << "span stream ill-formed: " << stack_.size() << " span(s) left open"
+       << " and "
+       << std::count_if(records_.begin(), records_.end(),
+                        [](const SpanRecord& r) { return !r.closed; })
+       << " record(s) never closed";
+    problems.push_back(os.str());
+  }
+  const auto sums = summarize();
+  for (const auto& ph : stats.phases) {
+    const auto it =
+        std::find_if(sums.begin(), sums.end(), [&](const SpanSummary& s) {
+          return s.name == ph.name;
+        });
+    if (it == sums.end()) continue;  // phase not instrumented with spans
+    if (it->cycles != ph.cycles || it->messages != ph.messages) {
+      std::ostringstream os;
+      os << "phase '" << ph.name << "': PhaseStats says " << ph.cycles
+         << " cycles / " << ph.messages << " messages but spans total "
+         << it->cycles << " / " << it->messages;
+      problems.push_back(os.str());
+    }
+  }
+  return problems;
+}
+
+}  // namespace mcb::obs

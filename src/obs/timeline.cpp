@@ -1,0 +1,86 @@
+#include "obs/timeline.hpp"
+
+#include "util/check.hpp"
+
+namespace mcb::obs {
+
+Timeline::Timeline(std::size_t k, std::size_t max_buckets)
+    : k_(k), max_buckets_(max_buckets), channel_writes_(k, 0) {
+  MCB_REQUIRE(k >= 1, "timeline needs at least one channel");
+  MCB_REQUIRE(max_buckets >= 2, "bucket merging needs max_buckets >= 2");
+}
+
+void Timeline::merge_pairs() {
+  // Collapse adjacent pairs: bucket i of the new width 2w covers exactly
+  // old buckets 2i and 2i+1, so every counter is preserved.
+  const std::size_t half = (buckets_.size() + 1) / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    TimelineBucket merged = std::move(buckets_[2 * i]);
+    if (2 * i + 1 < buckets_.size()) {
+      const TimelineBucket& hi = buckets_[2 * i + 1];
+      for (std::size_t c = 0; c < k_; ++c) merged.writes[c] += hi.writes[c];
+      merged.reads += hi.reads;
+      merged.silent_reads += hi.silent_reads;
+      merged.multi_reads += hi.multi_reads;
+      merged.busy_cycles += hi.busy_cycles;
+    }
+    buckets_[i] = std::move(merged);
+  }
+  buckets_.resize(half);
+  width_ *= 2;
+}
+
+TimelineBucket& Timeline::bucket_for(Cycle cycle) {
+  while (cycle / width_ >= max_buckets_) merge_pairs();
+  const auto idx = static_cast<std::size_t>(cycle / width_);
+  while (buckets_.size() <= idx) {
+    TimelineBucket b;
+    b.writes.assign(k_, 0);
+    buckets_.push_back(std::move(b));
+  }
+  return buckets_[idx];
+}
+
+void Timeline::on_event(const CycleEvent& ev) {
+  TimelineBucket& b = bucket_for(ev.cycle);
+  if (!any_event_ || ev.cycle != last_busy_cycle_) {
+    any_event_ = true;
+    last_busy_cycle_ = ev.cycle;
+    ++b.busy_cycles;
+    ++busy_cycles_;
+  }
+  if (ev.wrote) {
+    const std::size_t c = *ev.wrote;
+    if (c < k_) {
+      ++b.writes[c];
+      ++channel_writes_[c];
+    }
+    ++total_writes_;
+  }
+  if (ev.read) {
+    ++b.reads;
+    ++total_reads_;
+    if (!ev.received) {
+      ++b.silent_reads;
+      ++total_silent_reads_;
+    }
+  }
+  if (ev.read_all) {
+    ++b.multi_reads;
+    ++total_multi_reads_;
+  }
+}
+
+void Timeline::finalize(Cycle total_cycles) {
+  MCB_REQUIRE(!finalized_, "Timeline::finalize is single-shot");
+  total_cycles_ = total_cycles;
+  finalized_ = true;
+}
+
+std::uint64_t Timeline::idle_cycles() const {
+  MCB_REQUIRE(finalized_, "idle_cycles requires finalize()");
+  const std::uint64_t total = total_cycles_;
+  return total > busy_cycles_ ? total - busy_cycles_ : 0;
+}
+
+}  // namespace mcb::obs

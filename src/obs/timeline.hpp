@@ -1,0 +1,88 @@
+// Bounded-memory per-channel timeline of a run.
+//
+// A TraceSink that bins the cycle-event stream into fixed-width cycle
+// buckets: per-bucket, per-channel write counts plus read / silent-read /
+// multi-read / busy-cycle counters. Memory stays bounded no matter how long
+// the run is: buckets start one cycle wide, and whenever the run outgrows
+// `max_buckets` the recorder merges adjacent bucket pairs and doubles the
+// bucket width (so the resolution degrades gracefully while every count is
+// preserved exactly — the same collapse-by-merging idea as a reservoir).
+// Cost per event is O(1) amortized; memory is O(max_buckets * k).
+//
+// The timeline never sees idle stretches (the engines emit no events for
+// them — the event engine fast-forwards them entirely), so idle time is
+// derived at finalize(): total cycles minus the distinct busy cycles
+// counted from the stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mcb/trace.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb::obs {
+
+/// Counters for one bucket of `bucket_cycles()` consecutive cycles.
+struct TimelineBucket {
+  std::vector<std::uint64_t> writes;  ///< per channel, size k
+  std::uint64_t reads = 0;            ///< single-channel read operations
+  std::uint64_t silent_reads = 0;     ///< reads that observed silence
+  std::uint64_t multi_reads = 0;      ///< Section 9 read-all operations
+  std::uint64_t busy_cycles = 0;      ///< distinct cycles with >= 1 event
+};
+
+class Timeline final : public TraceSink {
+ public:
+  explicit Timeline(std::size_t k, std::size_t max_buckets = 256);
+
+  void on_event(const CycleEvent& ev) override;
+
+  /// Records the run's total cycle count so idle time can be derived.
+  /// Call once after Network::run() returns.
+  void finalize(Cycle total_cycles);
+
+  std::size_t k() const { return k_; }
+  /// Current bucket width in cycles (a power of two).
+  Cycle bucket_cycles() const { return width_; }
+  const std::vector<TimelineBucket>& buckets() const { return buckets_; }
+
+  // Exact run-wide totals (independent of bucket resolution).
+  std::uint64_t total_writes() const { return total_writes_; }
+  const std::vector<std::uint64_t>& writes_per_channel() const {
+    return channel_writes_;
+  }
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t total_silent_reads() const { return total_silent_reads_; }
+  std::uint64_t total_multi_reads() const { return total_multi_reads_; }
+  /// Distinct cycles in which at least one event occurred.
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+  /// total - busy; valid after finalize().
+  std::uint64_t idle_cycles() const;
+  Cycle total_cycles() const { return total_cycles_; }
+  bool finalized() const { return finalized_; }
+
+ private:
+  TimelineBucket& bucket_for(Cycle cycle);
+  void merge_pairs();
+
+  std::size_t k_;
+  std::size_t max_buckets_;
+  Cycle width_ = 1;
+  std::vector<TimelineBucket> buckets_;
+
+  std::uint64_t total_writes_ = 0;
+  std::vector<std::uint64_t> channel_writes_;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_silent_reads_ = 0;
+  std::uint64_t total_multi_reads_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+
+  bool any_event_ = false;
+  Cycle last_busy_cycle_ = 0;
+  Cycle total_cycles_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mcb::obs

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "util/cli.hpp"
@@ -107,7 +109,28 @@ void expect_stats_telemetry(const JsonValue& stats) {
   ASSERT_NE(stats.find("sim_wall_ns"), nullptr);
   EXPECT_GT(stats.at("proc_resumes").as_number(), 0.0);
   ASSERT_NE(stats.find("cycles_per_sec"), nullptr);
-  EXPECT_TRUE(stats.at("phases").is_array());
+  // Phases carry their full accounting: name, first cycle, extent, traffic.
+  ASSERT_TRUE(stats.at("phases").is_array());
+  ASSERT_GT(stats.at("phases").size(), 0u);
+  double phase_cycles = 0.0, phase_messages = 0.0;
+  for (const auto& ph : stats.at("phases").items()) {
+    EXPECT_FALSE(ph.at("name").as_string().empty());
+    ASSERT_NE(ph.find("first_cycle"), nullptr);
+    phase_cycles += ph.at("cycles").as_number();
+    phase_messages += ph.at("messages").as_number();
+  }
+  // Phases partition the run.
+  EXPECT_EQ(phase_cycles, stats.at("cycles").as_number());
+  EXPECT_EQ(phase_messages, stats.at("messages").as_number());
+}
+
+void expect_config(const JsonValue& doc) {
+  const auto& cfg = doc.at("config");
+  EXPECT_GT(cfg.at("p").as_number(), 0.0);
+  EXPECT_GT(cfg.at("k").as_number(), 0.0);
+  EXPECT_GT(cfg.at("n").as_number(), 0.0);
+  EXPECT_FALSE(cfg.at("shape").as_string().empty());
+  EXPECT_FALSE(cfg.at("engine").as_string().empty());
 }
 
 TEST(McbsimJsonTest, SortEmitsTelemetryAndParses) {
@@ -116,7 +139,10 @@ TEST(McbsimJsonTest, SortEmitsTelemetryAndParses) {
                                " sort --p 8 --k 2 --n 128 --json");
   const auto doc = json_parse(out);
   EXPECT_FALSE(doc.at("algorithm").as_string().empty());
+  expect_config(doc);
   expect_stats_telemetry(doc.at("stats"));
+  // Telemetry is opt-in: no "obs" member without --obs.
+  EXPECT_EQ(doc.find("obs"), nullptr);
 }
 
 TEST(McbsimJsonTest, SelectEmitsTelemetryAndParses) {
@@ -126,6 +152,9 @@ TEST(McbsimJsonTest, SelectEmitsTelemetryAndParses) {
   const auto doc = json_parse(out);
   ASSERT_NE(doc.find("value"), nullptr);
   EXPECT_GT(doc.at("filter_phases").as_number(), 0.0);
+  expect_config(doc);
+  // Selection documents the rank it solved for.
+  EXPECT_GT(doc.at("config").at("rank").as_number(), 0.0);
   expect_stats_telemetry(doc.at("stats"));
 }
 
@@ -161,6 +190,131 @@ TEST(McbsimJsonTest, SweepJsonIdenticalAcrossThreadFlags) {
   const auto t4 = run_command(std::string(mcbsim_bin()) + grid + "4");
   EXPECT_EQ(t1, t4);
   EXPECT_FALSE(t1.empty());
+}
+
+// --- run telemetry (--obs / --trace-out / report) ----------------------------
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(McbsimObsTest, ObsJsonCarriesSpansTimelineAndMetrics) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const auto out = run_command(std::string(mcbsim_bin()) +
+                               " select --p 8 --k 2 --n 128 --obs --json");
+  const auto doc = json_parse(out);
+  const auto& obs = doc.at("obs");
+  // Span summaries cover the selection phases.
+  ASSERT_TRUE(obs.at("spans").is_array());
+  bool saw_filter = false;
+  for (const auto& s : obs.at("spans").items()) {
+    if (s.at("name").as_string() == "filter") {
+      saw_filter = true;
+      EXPECT_GT(s.at("cycles").as_number(), 0.0);
+      EXPECT_GT(s.at("messages").as_number(), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_filter);
+  EXPECT_EQ(obs.at("spans_dropped").as_number(), 0.0);
+  // Timeline: one channel entry per channel, busy+idle == cycles, per-channel
+  // writes sum to the run's messages.
+  const auto& tl = obs.at("timeline");
+  ASSERT_EQ(tl.at("channels").size(), 2u);
+  EXPECT_EQ(tl.at("busy_cycles").as_number() + tl.at("idle_cycles").as_number(),
+            doc.at("stats").at("cycles").as_number());
+  double writes = 0.0;
+  for (const auto& ch : tl.at("channels").items()) {
+    writes += ch.at("writes").as_number();
+    EXPECT_GT(ch.at("buckets").size(), 0u);
+  }
+  EXPECT_EQ(writes, doc.at("stats").at("messages").as_number());
+  // Metrics registry rides along and agrees with the stats block.
+  EXPECT_EQ(obs.at("metrics").at("counters").at("run.messages").as_number(),
+            doc.at("stats").at("messages").as_number());
+}
+
+TEST(McbsimObsTest, TraceOutWritesStrictPerfettoJson) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const auto trace_path = temp_path("cli_trace.json");
+  run_command(std::string(mcbsim_bin()) +
+              " sort --p 8 --k 2 --n 128 --trace-out " + trace_path);
+  const auto trace = json_parse(read_file(trace_path));
+  EXPECT_DOUBLE_EQ(trace.at("otherData").at("p").as_number(), 8.0);
+  // At least one counter sample per channel and one span pair.
+  std::size_t counters = 0, begins = 0, ends = 0;
+  for (const auto& ev : trace.at("traceEvents").items()) {
+    const auto& ph = ev.at("ph").as_string();
+    if (ph == "C") ++counters;
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+  }
+  EXPECT_GE(counters, 2u);
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(McbsimObsTest, ReportIsDeterministicAcrossRuns) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const std::string cmd =
+      std::string(mcbsim_bin()) + " sort --p 8 --k 2 --n 128 --obs --json";
+  const auto run_a = temp_path("cli_report_a.json");
+  const auto run_b = temp_path("cli_report_b.json");
+  {
+    std::ofstream(run_a) << run_command(cmd);
+    std::ofstream(run_b) << run_command(cmd);
+  }
+  const auto rep_a =
+      run_command(std::string(mcbsim_bin()) + " report " + run_a);
+  const auto rep_b =
+      run_command(std::string(mcbsim_bin()) + " report " + run_b);
+  // The two runs differ in sim_wall_ns etc.; the report must not.
+  EXPECT_EQ(rep_a, rep_b);
+  EXPECT_NE(rep_a.find("# mcbsim run report"), std::string::npos);
+  EXPECT_NE(rep_a.find("## Phases"), std::string::npos);
+  EXPECT_NE(rep_a.find("## Channel utilization"), std::string::npos);
+}
+
+TEST(McbsimObsTest, SweepObsDeterministicAcrossThreadsAndReportable) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const std::string grid =
+      " sweep --p 8 --k 2 --n 64 --algorithms auto,select --seeds 2 --obs"
+      " --json --threads ";
+  const auto t1 = run_command(std::string(mcbsim_bin()) + grid + "1");
+  const auto t4 = run_command(std::string(mcbsim_bin()) + grid + "4");
+  EXPECT_EQ(t1, t4);
+  const auto doc = json_parse(t1);
+  for (const auto& trial : doc.at("trials").items()) {
+    EXPECT_EQ(trial.at("error").as_string(), "");
+    // --obs serializes per-trial span summaries.
+    ASSERT_NE(trial.find("spans"), nullptr);
+    EXPECT_GT(trial.at("spans").size(), 0u);
+  }
+  const auto sweep_path = temp_path("cli_sweep_obs.json");
+  std::ofstream(sweep_path) << t1;
+  const auto rep =
+      run_command(std::string(mcbsim_bin()) + " report " + sweep_path);
+  EXPECT_NE(rep.find("# mcbsim sweep report"), std::string::npos);
+  EXPECT_NE(rep.find("## Spans (all trials)"), std::string::npos);
+}
+
+TEST(McbsimObsTest, SweepWithoutObsStaysSpanFree) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const auto out = run_command(
+      std::string(mcbsim_bin()) +
+      " sweep --p 8 --k 2 --n 64 --algorithms select --seeds 1 --json");
+  const auto doc = json_parse(out);
+  EXPECT_EQ(doc.at("sweep").find("obs"), nullptr);
+  for (const auto& trial : doc.at("trials").items()) {
+    EXPECT_EQ(trial.find("spans"), nullptr);
+  }
 }
 
 }  // namespace

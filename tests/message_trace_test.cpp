@@ -164,7 +164,7 @@ TEST(TraceTest, MultiReadEventsAreRendered) {
   EXPECT_NE(text.find("P2 <- all: C1 (silence) C2 [9]"), std::string::npos);
 }
 
-TEST(TraceTest, CapacityTruncates) {
+TEST(TraceTest, CapacityTruncatesAndCountsDrops) {
   ChannelTrace trace(/*capacity=*/2);
   Network net({.p = 1, .k = 1}, &trace);
   auto prog = [](Proc& self) -> ProcMain {
@@ -176,7 +176,35 @@ TEST(TraceTest, CapacityTruncates) {
   net.run();
   EXPECT_EQ(trace.events().size(), 2u);
   EXPECT_TRUE(trace.truncated());
-  EXPECT_NE(trace.render(1).find("truncated"), std::string::npos);
+  // 10 write events, 2 kept: the footer reports exactly how many were shed.
+  EXPECT_EQ(trace.dropped(), 8u);
+  EXPECT_NE(trace.render(1).find("... (+8 dropped)"), std::string::npos);
+}
+
+TEST(TraceTest, TeeFansOutToEverySink) {
+  ChannelTrace a;
+  ChannelTrace b;
+  TeeSink tee({&a, nullptr, &b});  // nulls are skipped at add() time
+  EXPECT_EQ(tee.size(), 2u);
+  EXPECT_EQ(tee.as_sink(), &tee);
+  Network net({.p = 1, .k = 1}, tee.as_sink());
+  auto prog = [](Proc& self) -> ProcMain {
+    co_await self.write(0, Message::of(Word{5}));
+  };
+  net.install(0, prog(net.proc(0)));
+  net.run();
+  ASSERT_EQ(a.events().size(), 1u);
+  ASSERT_EQ(b.events().size(), 1u);
+  EXPECT_EQ(a.events()[0].sent->at(0), 5);
+  EXPECT_EQ(b.events()[0].sent->at(0), 5);
+}
+
+TEST(TraceTest, TeeCollapsesToCheapestEquivalent) {
+  TeeSink empty;
+  EXPECT_EQ(empty.as_sink(), nullptr);
+  ChannelTrace only;
+  TeeSink single({&only});
+  EXPECT_EQ(single.as_sink(), &only);  // no per-event indirection for one sink
 }
 
 // --- RunStats rendering --------------------------------------------------------

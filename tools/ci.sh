@@ -13,6 +13,11 @@
 # thread-pool suite — the one genuinely multi-threaded subsystem — plus a
 # checked sweep smoke.
 #
+# Each suite leg also smokes the telemetry layer end-to-end: --obs runs
+# (span reconciliation is a hard failure), a --trace-out export, and the
+# `mcbsim report` determinism contract (byte-identical output across
+# independent invocations and sweep thread counts, enforced with cmp).
+#
 # After the suites, the bench gates run on the release build. Every
 # BENCH_*.json records its gates with an "enforced" flag (a gate is
 # unenforced when the machine cannot express it, e.g. the parallel-sweep
@@ -53,6 +58,33 @@ run_preset() {
   "$builddir/tools/mcbsim" sweep --p 8 --k 2 --n 256 --algorithms select \
     --seeds 3 --threads 4 --json > "$builddir/sweep_t4.json"
   cmp "$builddir/sweep_t1.json" "$builddir/sweep_t4.json"
+  # Telemetry smoke: --obs runs reconcile spans against PhaseStats (non-zero
+  # exit on disagreement), --trace-out must produce a file, and the Markdown
+  # report of a logical run must be byte-identical across independent
+  # process invocations — the report reads no host-side timing, and cmp
+  # holds it to that.
+  echo "=== [$preset] telemetry smoke ==="
+  "$builddir/tools/mcbsim" sort --p 16 --k 4 --n 1024 --obs \
+    --trace-out "$builddir/obs_trace.json" > /dev/null
+  test -s "$builddir/obs_trace.json"
+  "$builddir/tools/mcbsim" select --p 16 --k 4 --n 1024 --obs --json \
+    > "$builddir/obs_run_a.json"
+  "$builddir/tools/mcbsim" select --p 16 --k 4 --n 1024 --obs --json \
+    > "$builddir/obs_run_b.json"
+  "$builddir/tools/mcbsim" report "$builddir/obs_run_a.json" \
+    > "$builddir/obs_report_a.md"
+  "$builddir/tools/mcbsim" report "$builddir/obs_run_b.json" \
+    > "$builddir/obs_report_b.md"
+  cmp "$builddir/obs_report_a.md" "$builddir/obs_report_b.md"
+  # Sweep telemetry keeps the thread-count determinism contract.
+  "$builddir/tools/mcbsim" sweep --p 8 --k 2 --n 128 \
+    --algorithms auto,select --seeds 2 --obs --threads 1 --json \
+    > "$builddir/obs_sweep_t1.json"
+  "$builddir/tools/mcbsim" sweep --p 8 --k 2 --n 128 \
+    --algorithms auto,select --seeds 2 --obs --threads 4 --json \
+    > "$builddir/obs_sweep_t4.json"
+  cmp "$builddir/obs_sweep_t1.json" "$builddir/obs_sweep_t4.json"
+  "$builddir/tools/mcbsim" report "$builddir/obs_sweep_t1.json" > /dev/null
 }
 
 # Validates a bench artifact's gates with `mcbsim gates`: a strict JSON

@@ -13,9 +13,18 @@
 //                  [--threads N] [--engine event|reference] [--check]
 //                  [--json]
 //   mcbsim gates   <bench.json>   (scan a BENCH_*.json for gate results)
+//   mcbsim report  <run.json|sweep.json>   (deterministic Markdown report)
 //
 // sort/select/trace/sweep accept --check: attach the model-conformance
 // checker (src/check) to the run and fail (exit 1) on any violation.
+//
+// sort/select/trace accept the telemetry flags (sweep accepts --obs):
+//   --obs               collect phase spans + per-channel timeline; spans
+//                       are reconciled against PhaseStats (exit 1 on any
+//                       disagreement) and serialized under "obs" in --json
+//   --trace-out f.json  write a Chrome trace-event / Perfetto JSON trace
+//                       (implies --obs); load it in ui.perfetto.dev
+//   --obs-buckets N     timeline resolution (default 256 buckets)
 //
 // Exit code 0 on success; 2 on usage errors; 1 on conformance violations or
 // failed trials; `gates` exits 1 on a failed enforced gate and 3 when
@@ -27,6 +36,11 @@
 
 #include "harness/sweep.hpp"
 #include "mcb/mcb.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "se/shout_echo.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -86,10 +100,24 @@ void print_stats_json(const RunStats& stats, std::ostream& os) {
     const auto& ph = stats.phases[i];
     if (i) os << ',';
     os << "{\"name\":\"" << util::json_escape(ph.name)
-       << "\",\"cycles\":" << ph.cycles << ",\"messages\":" << ph.messages
+       << "\",\"first_cycle\":" << ph.first_cycle
+       << ",\"cycles\":" << ph.cycles << ",\"messages\":" << ph.messages
        << '}';
   }
   os << "]}";
+}
+
+/// The run's logical identity: everything needed to regenerate its workload
+/// deterministically (mcbsim report recomputes theory bounds from this).
+void print_config_json(std::ostream& os, std::size_t p, std::size_t k,
+                       std::size_t n, const std::string& shape,
+                       std::uint64_t seed, const std::string& engine,
+                       std::optional<std::size_t> rank) {
+  os << "\"config\":{\"p\":" << p << ",\"k\":" << k << ",\"n\":" << n
+     << ",\"shape\":\"" << util::json_escape(shape) << "\",\"seed\":" << seed
+     << ",\"engine\":\"" << util::json_escape(engine) << '"';
+  if (rank) os << ",\"rank\":" << *rank;
+  os << '}';
 }
 
 void print_stats_text(const RunStats& stats, std::ostream& os) {
@@ -102,6 +130,102 @@ void print_stats_text(const RunStats& stats, std::ostream& os) {
   t.row({util::Table::txt("TOTAL"), util::Table::num(stats.cycles),
          util::Table::num(stats.messages)});
   os << t;
+}
+
+/// Shared telemetry flags (sort/select/trace). --trace-out implies --obs:
+/// the exporter needs the collectors.
+struct ObsOptions {
+  bool on = false;
+  std::string trace_out;
+  std::size_t buckets = 256;
+};
+
+ObsOptions parse_obs(const util::Cli& cli) {
+  ObsOptions o;
+  o.trace_out = cli.get_string("trace-out", "");
+  o.buckets = cli.get_uint("obs-buckets", 256);
+  o.on = cli.get_bool("obs") || !o.trace_out.empty();
+  return o;
+}
+
+/// Post-run telemetry steps: derive idle time, write the Perfetto trace if
+/// requested, and reconcile spans against PhaseStats. Returns the
+/// reconciliation problems (empty = reconciled); callers exit 1 on any.
+std::vector<std::string> finish_obs(const ObsOptions& opts,
+                                    const SimConfig& cfg,
+                                    const RunStats& stats,
+                                    const obs::Recorder& recorder,
+                                    obs::Timeline& timeline) {
+  timeline.finalize(stats.cycles);
+  if (!opts.trace_out.empty()) {
+    std::ofstream out(opts.trace_out);
+    if (!out) {
+      throw std::invalid_argument("cannot write trace to " + opts.trace_out);
+    }
+    out << obs::chrome_trace_json(stats, cfg, &recorder, &timeline);
+  }
+  return recorder.reconcile(stats);
+}
+
+int report_obs_problems(const std::vector<std::string>& problems) {
+  for (const auto& line : problems) {
+    std::cerr << "span reconciliation: " << line << '\n';
+  }
+  return problems.empty() ? 0 : 1;
+}
+
+/// The "obs" member of the run JSON: span summaries, the bucketed timeline
+/// and the metrics registry. All fields are deterministic.
+void print_obs_json(std::ostream& os, const RunStats& stats,
+                    const obs::Recorder& recorder,
+                    const obs::Timeline& timeline) {
+  os << "\"obs\":{\"spans\":[";
+  const auto sums = recorder.summarize();
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    const auto& s = sums[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << util::json_escape(s.name)
+       << "\",\"count\":" << s.count << ",\"cycles\":" << s.cycles
+       << ",\"messages\":" << s.messages << '}';
+  }
+  os << "],\"spans_dropped\":" << recorder.dropped()
+     << ",\"timeline\":{\"bucket_cycles\":" << timeline.bucket_cycles()
+     << ",\"total_cycles\":" << timeline.total_cycles()
+     << ",\"busy_cycles\":" << timeline.busy_cycles()
+     << ",\"idle_cycles\":" << timeline.idle_cycles()
+     << ",\"reads\":" << timeline.total_reads()
+     << ",\"silent_reads\":" << timeline.total_silent_reads()
+     << ",\"multi_reads\":" << timeline.total_multi_reads()
+     << ",\"channels\":[";
+  const auto& per_channel = timeline.writes_per_channel();
+  for (std::size_t c = 0; c < timeline.k(); ++c) {
+    if (c) os << ',';
+    os << "{\"writes\":" << per_channel[c] << ",\"buckets\":[";
+    const auto& buckets = timeline.buckets();
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (b) os << ',';
+      os << buckets[b].writes[c];
+    }
+    os << "]}";
+  }
+  os << "]},\"metrics\":"
+     << obs::collect_metrics(stats, &recorder, &timeline).json() << '}';
+}
+
+void print_obs_text(std::ostream& os, const RunStats& stats,
+                    const obs::Recorder& recorder,
+                    const obs::Timeline& timeline) {
+  const auto sums = recorder.summarize();
+  if (!sums.empty()) {
+    util::Table t;
+    t.header({"span", "count", "cycles", "messages"});
+    for (const auto& s : sums) {
+      t.row({util::Table::txt(s.name), util::Table::num(s.count),
+             util::Table::num(s.cycles), util::Table::num(s.messages)});
+    }
+    os << t;
+  }
+  os << obs::collect_metrics(stats, &recorder, &timeline).render();
 }
 
 std::vector<std::size_t> input_sizes(
@@ -127,49 +251,73 @@ int cmd_sort(const util::Cli& cli) {
   const auto p = cli.get_uint("p", 16);
   const auto k = cli.get_uint("k", 4);
   const auto n = cli.get_uint("n", 1024);
-  const auto shape = parse_shape(cli.get_string("shape", "even"));
+  const auto shape_name = cli.get_string("shape", "even");
+  const auto shape = parse_shape(shape_name);
   const auto seed = cli.get_uint("seed", 1);
   const auto algorithm =
       algo::sort_algorithm_from_string(cli.get_string("algorithm", "auto"));
   const bool json = cli.get_bool("json");
   const bool do_check = cli.get_bool("check");
+  const auto obs_opts = parse_obs(cli);
 
   auto w = util::make_workload(n, p, shape, seed);
-  const SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  obs::Recorder recorder;
+  std::optional<obs::Timeline> timeline;
+  if (obs_opts.on) {
+    timeline.emplace(k, obs_opts.buckets);
+    cfg.span_sink = &recorder;
+  }
+  TraceSink* tail = obs_opts.on ? &*timeline : nullptr;
   std::optional<check::ConformanceChecker> checker;
   if (do_check) {
-    checker.emplace(cfg);
+    checker.emplace(cfg, tail);
     checker->expect_sorting_bounds(input_sizes(w.inputs));
   }
   auto res = algo::sort(cfg, w.inputs, {.algorithm = algorithm},
-                        do_check ? &*checker : nullptr);
+                        do_check ? static_cast<TraceSink*>(&*checker) : tail);
   if (do_check) checker->finish(res.run.stats);
+  std::vector<std::string> obs_problems;
+  if (obs_opts.on) {
+    obs_problems =
+        finish_obs(obs_opts, cfg, res.run.stats, recorder, *timeline);
+  }
   if (json) {
     std::cout << "{\"algorithm\":\""
               << util::json_escape(algo::to_string(res.used)) << "\",";
-    std::cout << "\"stats\":";
+    print_config_json(std::cout, p, k, n, shape_name, seed,
+                      cli.get_string("engine", "event"), std::nullopt);
+    std::cout << ",\"stats\":";
     print_stats_json(res.run.stats, std::cout);
+    if (obs_opts.on) {
+      std::cout << ',';
+      print_obs_json(std::cout, res.run.stats, recorder, *timeline);
+    }
     if (do_check) std::cout << ",\"conformance\":" << checker->report().json();
     std::cout << "}\n";
   } else {
     std::cout << "sorted n=" << n << " over MCB(" << p << "," << k
               << ") with " << algo::to_string(res.used) << "\n";
     print_stats_text(res.run.stats, std::cout);
+    if (obs_opts.on) print_obs_text(std::cout, res.run.stats, recorder, *timeline);
     if (do_check) std::cout << checker->report().summary();
   }
-  return do_check && !checker->report().ok() ? 1 : 0;
+  const int obs_rc = report_obs_problems(obs_problems);
+  return do_check && !checker->report().ok() ? 1 : obs_rc;
 }
 
 int cmd_select(const util::Cli& cli) {
   const auto p = cli.get_uint("p", 16);
   const auto k = cli.get_uint("k", 4);
   const auto n = cli.get_uint("n", 1024);
-  const auto shape = parse_shape(cli.get_string("shape", "even"));
+  const auto shape_name = cli.get_string("shape", "even");
+  const auto shape = parse_shape(shape_name);
   const auto seed = cli.get_uint("seed", 1);
   const auto d = cli.get_uint("rank", (n + 1) / 2);
   const bool json = cli.get_bool("json");
   const bool shout_echo = cli.get_bool("shout-echo");
   const bool do_check = cli.get_bool("check");
+  const auto obs_opts = parse_obs(cli);
 
   auto w = util::make_workload(n, p, shape, seed);
   if (shout_echo) {
@@ -189,28 +337,49 @@ int cmd_select(const util::Cli& cli) {
     }
     return 0;
   }
-  const SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  obs::Recorder recorder;
+  std::optional<obs::Timeline> timeline;
+  if (obs_opts.on) {
+    timeline.emplace(k, obs_opts.buckets);
+    cfg.span_sink = &recorder;
+  }
+  TraceSink* tail = obs_opts.on ? &*timeline : nullptr;
   std::optional<check::ConformanceChecker> checker;
   if (do_check) {
-    checker.emplace(cfg);
+    checker.emplace(cfg, tail);
     checker->expect_selection_bounds(input_sizes(w.inputs), d);
   }
-  auto res = algo::select_rank(cfg, w.inputs, d, {},
-                               do_check ? &*checker : nullptr);
+  auto res =
+      algo::select_rank(cfg, w.inputs, d, {},
+                        do_check ? static_cast<TraceSink*>(&*checker) : tail);
   if (do_check) checker->finish(res.stats);
+  std::vector<std::string> obs_problems;
+  if (obs_opts.on) {
+    obs_problems = finish_obs(obs_opts, cfg, res.stats, recorder, *timeline);
+  }
   if (json) {
-    std::cout << "{\"value\":" << res.value
-              << ",\"filter_phases\":" << res.filter_phases << ",\"stats\":";
+    std::cout << "{\"algorithm\":\"selection\",\"value\":" << res.value
+              << ",\"filter_phases\":" << res.filter_phases << ',';
+    print_config_json(std::cout, p, k, n, shape_name, seed,
+                      cli.get_string("engine", "event"), d);
+    std::cout << ",\"stats\":";
     print_stats_json(res.stats, std::cout);
+    if (obs_opts.on) {
+      std::cout << ',';
+      print_obs_json(std::cout, res.stats, recorder, *timeline);
+    }
     if (do_check) std::cout << ",\"conformance\":" << checker->report().json();
     std::cout << "}\n";
   } else {
     std::cout << "N[" << d << "] = " << res.value << "  ("
               << res.filter_phases << " filtering phases)\n";
     print_stats_text(res.stats, std::cout);
+    if (obs_opts.on) print_obs_text(std::cout, res.stats, recorder, *timeline);
     if (do_check) std::cout << checker->report().summary();
   }
-  return do_check && !checker->report().ok() ? 1 : 0;
+  const int obs_rc = report_obs_problems(obs_problems);
+  return do_check && !checker->report().ok() ? 1 : obs_rc;
 }
 
 int cmd_psum(const util::Cli& cli) {
@@ -247,25 +416,58 @@ int cmd_trace(const util::Cli& cli) {
   const auto n = cli.get_uint("n", p * p * (p - 1));
   const auto seed = cli.get_uint("seed", 3);
   const bool do_check = cli.get_bool("check");
+  const auto obs_opts = parse_obs(cli);
   ChannelTrace trace(cli.get_uint("limit", 256));
   auto w = util::make_workload(n, p, util::Shape::kEven, seed);
-  const SimConfig cfg{.p = p, .k = p, .engine = parse_engine(cli)};
-  // With --check, the checker tees the unmodified event stream into the
-  // trace — observers chain.
+  SimConfig cfg{.p = p, .k = p, .engine = parse_engine(cli)};
+  obs::Recorder recorder;
+  std::optional<obs::Timeline> timeline;
+  if (obs_opts.on) {
+    timeline.emplace(p, obs_opts.buckets);
+    cfg.span_sink = &recorder;
+  }
+  // Observers chain: with --check the checker tees the unmodified event
+  // stream into the tee, which fans it out to the channel trace and (with
+  // --obs) the timeline.
+  TeeSink tee({&trace, obs_opts.on ? &*timeline : nullptr});
+  TraceSink* tail = tee.as_sink();
   std::optional<check::ConformanceChecker> checker;
   if (do_check) {
-    checker.emplace(cfg, &trace);
+    checker.emplace(cfg, tail);
     checker->expect_sorting_bounds(input_sizes(w.inputs));
   }
   auto res = algo::columnsort_even(
       cfg, w.inputs, {},
-      do_check ? static_cast<TraceSink*>(&*checker) : &trace);
+      do_check ? static_cast<TraceSink*>(&*checker) : tail);
   if (do_check) checker->finish(res.run.stats);
+  std::vector<std::string> obs_problems;
+  if (obs_opts.on) {
+    obs_problems =
+        finish_obs(obs_opts, cfg, res.run.stats, recorder, *timeline);
+  }
   std::cout << "columnsort on MCB(" << p << "," << p << "), n=" << n << ": "
             << res.run.stats.cycles << " cycles\n"
             << trace.render(p);
+  if (obs_opts.on) {
+    print_obs_text(std::cout, res.run.stats, recorder, *timeline);
+  }
   if (do_check) std::cout << checker->report().summary();
-  return do_check && !checker->report().ok() ? 1 : 0;
+  const int obs_rc = report_obs_problems(obs_problems);
+  return do_check && !checker->report().ok() ? 1 : obs_rc;
+}
+
+// Renders the deterministic Markdown report of a previously captured
+// `mcbsim sort/select --json` or `mcbsim sweep --json` document.
+int cmd_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << '\n';
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::cout << obs::report_markdown(util::json_parse(buf.str()));
+  return 0;
 }
 
 // Scans a BENCH_*.json artifact for gate objects — any JSON object with an
@@ -390,6 +592,7 @@ int cmd_sweep(const util::Cli& cli) {
   const auto threads = cli.get_uint("threads", 0);
   const bool json = cli.get_bool("json");
   sweep.check = cli.get_bool("check");
+  sweep.obs = cli.get_bool("obs");
 
   auto run = harness::run_sweep(sweep, {.threads = threads});
 
@@ -438,22 +641,30 @@ int cmd_sweep(const util::Cli& cli) {
 
 int usage() {
   std::cerr <<
-      "usage: mcbsim <sort|select|psum|trace|bounds|sweep|gates> [--flags]\n"
+      "usage: mcbsim <sort|select|psum|trace|bounds|sweep|gates|report>"
+      " [--flags]\n"
       "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--engine]"
       " [--check] [--json]\n"
+      "          [--obs] [--trace-out f.json] [--obs-buckets N]\n"
       "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo]"
       " [--engine] [--check] [--json]\n"
+      "          [--obs] [--trace-out f.json] [--obs-buckets N]\n"
       "  psum    --p --k [--op add|max|min]\n"
-      "  trace   --p [--n] [--seed] [--limit] [--engine] [--check]\n"
+      "  trace   --p [--n] [--seed] [--limit] [--engine] [--check]"
+      " [--obs] [--trace-out f.json]\n"
       "  bounds  --p --k --n [--shape] [--d]\n"
       "  sweep   --p 8,16 --k 2,4 --n 1024,4096 [--shapes even,zipf]\n"
       "          [--algorithms auto,select] [--seeds S] [--seed B]\n"
-      "          [--threads N] [--engine event|reference] [--check] "
+      "          [--threads N] [--engine event|reference] [--check] [--obs] "
       "[--json]\n"
       "  gates   <bench.json>   exit 0 = all gates enforced+passed,\n"
       "          1 = enforced gate failed, 3 = unenforced gates present\n"
+      "  report  <run.json|sweep.json>   render a deterministic Markdown\n"
+      "          report (phases, spans, channel sparklines, theory ratios)\n"
       "--check attaches the model-conformance checker (src/check): exit 1\n"
-      "and a violation report on any model-rule breach.\n";
+      "and a violation report on any model-rule breach.\n"
+      "--obs collects phase spans and a per-channel timeline; --trace-out\n"
+      "writes a Chrome trace-event / Perfetto JSON trace (implies --obs).\n";
   return 2;
 }
 
@@ -461,11 +672,15 @@ int usage() {
 
 int main(int argc, char** argv) {
   try {
-    // `gates` takes a positional file path, which the flag grammar of
-    // util::Cli does not cover — dispatch it before Cli::parse.
+    // `gates` and `report` take a positional file path, which the flag
+    // grammar of util::Cli does not cover — dispatch them before Cli::parse.
     if (argc >= 2 && std::string(argv[1]) == "gates") {
       if (argc != 3) return usage();
       return cmd_gates(argv[2]);
+    }
+    if (argc >= 2 && std::string(argv[1]) == "report") {
+      if (argc != 3) return usage();
+      return cmd_report(argv[2]);
     }
     const auto cli = util::Cli::parse(argc, argv);
     int rc;
