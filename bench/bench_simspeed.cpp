@@ -1,35 +1,46 @@
-// Simulator-throughput benchmark: event-driven engine vs the scan-the-world
-// reference loop, across (p, k) grids for sorting and selection.
+// Simulator-throughput benchmark: the event-driven and parallel engines vs
+// the scan-the-world reference loop, across (p, k) grids for sorting and
+// selection.
 //
 // Unlike the other bench binaries (which measure the *model's* cycle and
 // message complexity), this one measures the *simulator's* wall-clock cost —
 // the quantity every future scaling experiment is bounded by. For each grid
-// point both engines run the identical workload kReps times; the row kept is
-// the median rep by wall clock (single runs proved too noisy to gate on).
-// Correctness of the comparison rests on
-// tests/scheduler_equivalence_test.cpp, which pins the two engines to
+// point every engine runs the identical workload kReps times; the row kept
+// is the median rep by wall clock (single runs proved too noisy to gate on).
+// The two largest selection points (p=16384 and p=65536, n=4p) skip the
+// reference loop: its O(p) per-cycle scans make it minutes-slow there, and
+// its correctness standing comes from the equivalence tests, not from being
+// re-timed. Correctness of the comparison rests on
+// tests/scheduler_equivalence_test.cpp, which pins all engines to
 // bit-identical accounting; this binary additionally cross-checks that every
-// rep agrees on cycles and messages.
+// rep and every engine agrees on cycles and messages.
 //
 // Output: a per-grid-point table (median wall ns, resumes, cycles/sec,
-// arena telemetry, speedup) and a machine-readable BENCH_simspeed.json
+// arena telemetry, speedups) and a machine-readable BENCH_simspeed.json
 // (path overridable as argv[1]) so future PRs can track the
 // simulator-performance trajectory. Field names of earlier revisions are
-// preserved; medians slot into the old single-run fields.
+// preserved; medians slot into the old single-run fields. Each run row also
+// carries ns_per_proc_cycle = sim_wall_ns / (p * cycles), the
+// size-normalized cost that makes rows of different geometry comparable.
 //
-// Two gates, each failing the binary when enforced:
+// Three gates, each failing the binary when enforced:
 //   * event_vs_reference — the event engine must beat the reference loop
 //     >= 5x on the skip-heavy selection p=4096 k=4 point (since PR 1).
 //   * arena_vs_pr2 — with the frame arena on, the same point's event
 //     wall-clock must beat the PR-2 recorded baseline >= 1.3x and the
 //     arena hit rate must exceed 0.9 in steady state. Not enforced in
 //     MCB_FRAME_ARENA=OFF builds (tools/ci.sh warns on unenforced gates).
+//   * parallel_vs_event — the parallel engine (threads = hardware) must
+//     beat the event engine >= 2x on selection p=65536 k=4. Enforced only
+//     on machines with >= 4 hardware threads; below that the pool cannot
+//     possibly buy a 2x and the gate reports unenforced.
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algo/selection.hpp"
@@ -49,9 +60,15 @@ constexpr std::uint64_t kPr2EventWallNs = 206128073;
 constexpr double kArenaRequiredSpeedup = 1.3;
 constexpr double kArenaRequiredHitRate = 0.9;
 
+// parallel_vs_event gate: required speedup and the hardware-thread floor
+// below which it stays unenforced (a <4-wide machine cannot owe us 2x).
+constexpr double kParallelRequiredSpeedup = 2.0;
+constexpr unsigned kParallelMinHardware = 4;
+
 struct GridPoint {
   std::string bench;  // "sort" | "selection"
   std::size_t p, k, n;
+  bool skip_reference = false;  // the two huge selection rows
 };
 
 struct EngineResult {
@@ -61,19 +78,35 @@ struct EngineResult {
 
 struct Row {
   GridPoint pt;
-  EngineResult ref;    // scan-the-world baseline
+  EngineResult ref;    // scan-the-world baseline; empty when skip_reference
   EngineResult event;  // wake-queue engine
-  double speedup() const {
+  EngineResult par;    // striped parallel engine, threads = hardware
+  double speedup() const {  // event vs reference; 0 when reference skipped
     return event.median.sim_wall_ns == 0
                ? 0.0
                : static_cast<double>(ref.median.sim_wall_ns) /
                      static_cast<double>(event.median.sim_wall_ns);
   }
+  double parallel_speedup() const {  // parallel vs event
+    return par.median.sim_wall_ns == 0
+               ? 0.0
+               : static_cast<double>(event.median.sim_wall_ns) /
+                     static_cast<double>(par.median.sim_wall_ns);
+  }
 };
+
+const char* engine_json_name(Engine e) {
+  switch (e) {
+    case Engine::kReference: return "reference";
+    case Engine::kEventDriven: return "event";
+    case Engine::kParallel: return "parallel";
+  }
+  return "unknown";
+}
 
 RunStats run_point(const GridPoint& pt, Engine engine) {
   SimConfig cfg{.p = pt.p, .k = pt.k};
-  cfg.engine = engine;
+  cfg.engine = engine;  // kParallel keeps threads = 0: all hardware threads
   const auto w = util::make_workload(pt.n, pt.p, util::Shape::kEven, 42);
   if (pt.bench == "sort") {
     auto res = algo::sort(cfg, w.inputs);
@@ -108,15 +141,25 @@ EngineResult run_reps(const GridPoint& pt, Engine engine) {
   return r;
 }
 
+/// sim_wall_ns normalized by the work simulated: host nanoseconds per
+/// processor-cycle. Comparable across grid points of any size.
+double ns_per_proc_cycle(const GridPoint& pt, const RunStats& s) {
+  const double work = static_cast<double>(pt.p) * static_cast<double>(s.cycles);
+  return work == 0.0 ? 0.0 : static_cast<double>(s.sim_wall_ns) / work;
+}
+
 std::string json_run_row(const Row& r, Engine engine) {
-  const EngineResult& er = engine == Engine::kReference ? r.ref : r.event;
+  const EngineResult& er = engine == Engine::kReference ? r.ref
+                           : engine == Engine::kEventDriven ? r.event
+                                                            : r.par;
   const RunStats& s = er.median;
   std::ostringstream os;
   os << "    {\"bench\": \"" << r.pt.bench << "\", \"p\": " << r.pt.p
      << ", \"k\": " << r.pt.k << ", \"n\": " << r.pt.n << ", \"engine\": \""
-     << (engine == Engine::kReference ? "reference" : "event") << "\""
+     << engine_json_name(engine) << "\""
      << ", \"cycles\": " << s.cycles << ", \"messages\": " << s.messages
      << ", \"sim_wall_ns\": " << s.sim_wall_ns
+     << ", \"ns_per_proc_cycle\": " << ns_per_proc_cycle(r.pt, s)
      << ", \"proc_resumes\": " << s.proc_resumes
      << ", \"cycles_per_sec\": " << s.cycles_per_sec
      << ", \"frame_allocs\": " << s.frame_allocs
@@ -132,6 +175,7 @@ std::string json_run_row(const Row& r, Engine engine) {
 }
 
 void write_json(const std::vector<Row>& rows, const Row& headline,
+                const Row& big, bool parallel_enforced,
                 const std::string& path) {
   const bool arena_on = MCB_FRAME_ARENA_ENABLED != 0;
   const double arena_speedup =
@@ -143,6 +187,8 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
   const bool arena_passed = arena_speedup >= kArenaRequiredSpeedup &&
                             hit_rate > kArenaRequiredHitRate;
   const bool ref_passed = headline.speedup() >= 5.0;
+  const bool parallel_passed =
+      big.parallel_speedup() >= kParallelRequiredSpeedup;
 
   std::ofstream out(path);
   if (!out) {
@@ -152,15 +198,19 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
   out << "{\n  \"benchmark\": \"simspeed\",\n  \"reps\": " << kReps
       << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    out << json_run_row(rows[i], Engine::kReference) << ",\n";
-    out << json_run_row(rows[i], Engine::kEventDriven)
+    if (!rows[i].pt.skip_reference) {
+      out << json_run_row(rows[i], Engine::kReference) << ",\n";
+    }
+    out << json_run_row(rows[i], Engine::kEventDriven) << ",\n";
+    out << json_run_row(rows[i], Engine::kParallel)
         << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   out << "  ],\n  \"speedups\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     out << "    {\"bench\": \"" << rows[i].pt.bench
         << "\", \"p\": " << rows[i].pt.p << ", \"k\": " << rows[i].pt.k
-        << ", \"speedup\": " << rows[i].speedup() << "}"
+        << ", \"speedup\": " << rows[i].speedup()
+        << ", \"parallel_vs_event\": " << rows[i].parallel_speedup() << "}"
         << (i + 1 < rows.size() ? ",\n" : "\n");
   }
   out << "  ],\n  \"gates\": [\n"
@@ -177,7 +227,15 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
       << ", \"required_hit_rate\": " << kArenaRequiredHitRate
       << ", \"arena_hit_rate\": " << hit_rate
       << ", \"enforced\": " << (arena_on ? "true" : "false")
-      << ", \"passed\": " << (arena_passed ? "true" : "false") << "}\n"
+      << ", \"passed\": " << (arena_passed ? "true" : "false") << "},\n"
+      << "    {\"name\": \"parallel_vs_event\", \"bench\": \"selection\", "
+         "\"p\": "
+      << big.pt.p << ", \"k\": " << big.pt.k
+      << ", \"required_speedup\": " << kParallelRequiredSpeedup
+      << ", \"measured\": " << big.parallel_speedup()
+      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ", \"enforced\": " << (parallel_enforced ? "true" : "false")
+      << ", \"passed\": " << (parallel_passed ? "true" : "false") << "}\n"
       << "  ]\n}\n";
 }
 
@@ -193,56 +251,82 @@ int main(int argc, char** argv) {
   // Sort stresses dense cycles (most processors participate every cycle);
   // selection stresses the wake queue and the idle-cycle fast-forward (at
   // p/k = 1024 nearly every processor is asleep in skip() at any instant —
-  // the acceptance workload for the event engine).
+  // the acceptance workload for the event engine). The two skip_reference
+  // rows are the parallel engine's acceptance workloads: big enough that
+  // striping the per-cycle scans pays for the barrier.
   const std::vector<GridPoint> grid = {
-      {"sort", 64, 8, 256},        {"sort", 256, 16, 1024},
-      {"sort", 1024, 32, 4096},    {"selection", 256, 4, 1024},
-      {"selection", 1024, 4, 4096}, {"selection", 4096, 4, 16384},
+      {"sort", 64, 8, 256},
+      {"sort", 256, 16, 1024},
+      {"sort", 1024, 32, 4096},
+      {"selection", 256, 4, 1024},
+      {"selection", 1024, 4, 4096},
+      {"selection", 4096, 4, 16384},
       {"selection", 1024, 32, 4096},
+      {"selection", 16384, 4, 65536, /*skip_reference=*/true},
+      {"selection", 65536, 4, 262144, /*skip_reference=*/true},
   };
 
   std::vector<Row> rows;
-  section("simulator throughput: event-driven vs scan-the-world reference");
+  section(
+      "simulator throughput: event-driven and parallel engines vs "
+      "scan-the-world reference");
   std::cout << "median of " << kReps << " reps per engine per point\n";
   util::Table t;
   t.header({"bench", "p", "k", "n", "cycles", "ref wall ms", "event wall ms",
-            "event resumes", "event cyc/s", "frame allocs", "hit rate",
-            "speedup"});
+            "par wall ms", "event resumes", "event cyc/s", "hit rate",
+            "ref/event", "event/par"});
   for (const auto& pt : grid) {
-    Row r{pt, run_reps(pt, Engine::kReference),
-          run_reps(pt, Engine::kEventDriven)};
-    if (r.ref.median.cycles != r.event.median.cycles ||
-        r.ref.median.messages != r.event.median.messages) {
+    Row r;
+    r.pt = pt;
+    if (!pt.skip_reference) r.ref = run_reps(pt, Engine::kReference);
+    r.event = run_reps(pt, Engine::kEventDriven);
+    r.par = run_reps(pt, Engine::kParallel);
+    const bool ref_agrees =
+        pt.skip_reference ||
+        (r.ref.median.cycles == r.event.median.cycles &&
+         r.ref.median.messages == r.event.median.messages);
+    if (!ref_agrees || r.par.median.cycles != r.event.median.cycles ||
+        r.par.median.messages != r.event.median.messages) {
       std::cerr << "BENCH FAILURE: engines disagree on accounting at p="
                 << pt.p << " k=" << pt.k << "\n";
       std::abort();
     }
     t.row({util::Table::txt(pt.bench), util::Table::num(pt.p),
            util::Table::num(pt.k), util::Table::num(pt.n),
-           util::Table::num(r.ref.median.cycles),
-           util::Table::num(
-               static_cast<double>(r.ref.median.sim_wall_ns) / 1e6, 2),
+           util::Table::num(r.event.median.cycles),
+           pt.skip_reference
+               ? util::Table::txt("-")
+               : util::Table::num(
+                     static_cast<double>(r.ref.median.sim_wall_ns) / 1e6, 2),
            util::Table::num(
                static_cast<double>(r.event.median.sim_wall_ns) / 1e6, 2),
+           util::Table::num(
+               static_cast<double>(r.par.median.sim_wall_ns) / 1e6, 2),
            util::Table::num(r.event.median.proc_resumes),
            util::Table::num(r.event.median.cycles_per_sec, 0),
-           util::Table::num(r.event.median.frame_allocs),
            util::Table::num(r.event.median.arena_hit_rate, 3),
-           util::Table::num(r.speedup(), 2)});
+           pt.skip_reference ? util::Table::txt("-")
+                             : util::Table::num(r.speedup(), 2),
+           util::Table::num(r.parallel_speedup(), 2)});
     rows.push_back(std::move(r));
   }
   std::cout << t;
 
-  const Row* headline = nullptr;
+  const Row* headline = nullptr;  // event_vs_reference + arena gates
+  const Row* big = nullptr;       // parallel_vs_event gate
   for (const auto& r : rows) {
-    if (r.pt.bench == "selection" && r.pt.p == 4096) headline = &r;
+    if (r.pt.bench != "selection") continue;
+    if (r.pt.p == 4096) headline = &r;
+    if (r.pt.p == 65536) big = &r;
   }
-  if (headline == nullptr) {
-    std::cerr << "BENCH FAILURE: headline grid point missing\n";
+  if (headline == nullptr || big == nullptr) {
+    std::cerr << "BENCH FAILURE: gate grid point missing\n";
     return 1;
   }
 
-  write_json(rows, *headline, json_path);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool parallel_enforced = hw >= kParallelMinHardware;
+  write_json(rows, *headline, *big, parallel_enforced, json_path);
   std::cout << "\nwrote " << json_path << "\n";
 
   // Gate 1 (since PR 1): the skip-heavy selection workload at p=4096, k=4
@@ -274,6 +358,25 @@ int main(int argc, char** argv) {
                  "(speedup "
               << arena_speedup << "x, hit rate "
               << headline->event.median.arena_hit_rate << ")\n";
+    return 1;
+  }
+
+  // Gate 3 (since PR 6): the parallel engine must beat the event engine
+  // >= 2x on selection p=65536 k=4 — but only on machines wide enough for
+  // the pool to plausibly deliver it.
+  std::cout << "selection p=65536 k=4 parallel-vs-event speedup: "
+            << big->parallel_speedup() << "x (gate >= "
+            << kParallelRequiredSpeedup << ")"
+            << (parallel_enforced
+                    ? ""
+                    : " [NOT ENFORCED: < 4 hardware threads]")
+            << "\n";
+  if (parallel_enforced &&
+      big->parallel_speedup() < kParallelRequiredSpeedup) {
+    std::cerr << "BENCH FAILURE: parallel gate missed on selection p=65536 "
+                 "k=4 (speedup "
+              << big->parallel_speedup() << "x on " << hw
+              << " hardware threads)\n";
     return 1;
   }
   return 0;

@@ -39,4 +39,86 @@ void parallel_for_index(std::size_t n, std::size_t threads,
   for (auto& th : pool) th.join();
 }
 
+WorkerPool::WorkerPool(std::size_t workers)
+    : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t t = 0; t + 1 < workers_; ++t) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void WorkerPool::claim_loop(std::uint32_t epoch, std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  for (;;) {
+    std::uint64_t s = state_.load(std::memory_order_acquire);
+    if (static_cast<std::uint32_t>(s >> 32) != epoch) return;  // stale batch
+    const auto i = static_cast<std::uint32_t>(s);
+    if (i >= n) return;  // batch fully claimed
+    if (!state_.compare_exchange_weak(s, s + 1, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      continue;  // lost the claim race; retry with the fresh value
+    }
+    fn(i);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (++completed_ == job_n_) done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::worker_main() {
+  std::uint32_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::uint32_t epoch = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch = epoch_;
+      fn = job_;
+      n = job_n_;
+    }
+    claim_loop(epoch, n, *fn);
+  }
+}
+
+void WorkerPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::uint32_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch = ++epoch_;
+    job_ = &fn;
+    job_n_ = n;
+    completed_ = 0;
+    // Publish the batch counter inside the critical section: a worker whose
+    // wait predicate observed this epoch acquired mu_ after this store, so
+    // its claim loads cannot see the previous batch's counter. The release
+    // store additionally pairs with the acquire claim loads, making every
+    // caller-side write sequenced before run() visible to claimants.
+    state_.store(pack(epoch, 0), std::memory_order_release);
+  }
+  start_cv_.notify_all();
+
+  claim_loop(epoch, n, fn);  // the caller is a full lane too
+
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return completed_ == n; });
+  job_ = nullptr;
+}
+
 }  // namespace mcb::harness

@@ -16,8 +16,14 @@
 // parallel sweep smoke under ThreadSanitizer on every CI run.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace mcb::harness {
 
@@ -32,5 +38,67 @@ std::size_t resolve_threads(std::size_t threads, std::size_t n);
 /// (or n <= 1) everything runs on the calling thread.
 void parallel_for_index(std::size_t n, std::size_t threads,
                         const std::function<void(std::size_t)>& fn);
+
+/// A persistent worker pool for repeated fine-grained fan-outs — the
+/// per-cycle dispatch of the parallel simulation engine, which cannot afford
+/// parallel_for_index's thread spawn per call (a simulated cycle is
+/// microseconds; a thread spawn is tens of them).
+///
+/// run(n, fn) invokes fn(0) .. fn(n-1) exactly once each across the resident
+/// threads plus the calling thread, and returns only when all n calls have
+/// completed — each run() is a full barrier. Indices are claimed dynamically
+/// from a shared epoch-tagged counter: a straggler worker waking late into a
+/// finished batch observes the epoch mismatch and goes back to sleep instead
+/// of claiming work from the next batch with a stale function pointer.
+///
+/// Memory ordering: the batch (fn, n, shared inputs written by the caller)
+/// is published by a release store of the epoch word and acquired by the
+/// workers' claim loads; completions are counted under the pool mutex, whose
+/// release in the last worker synchronizes-with the caller's wake. Callers
+/// may therefore hand plain (non-atomic) data to fn and read plain results
+/// after run() returns. Enforced under TSan by tools/ci.sh.
+class WorkerPool {
+ public:
+  /// A pool presenting `workers` total lanes (>= 1): workers - 1 resident
+  /// threads plus the caller of run(). workers == 1 spawns nothing and
+  /// run() degenerates to a serial loop on the calling thread.
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t workers() const { return workers_; }
+
+  /// Runs fn(i) for every i in [0, n) and blocks until all calls returned.
+  /// fn must not throw (callers capture errors into per-index slots). Not
+  /// reentrant: one run() at a time, from the owning thread.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  // state_ packs (epoch << 32) | next-unclaimed-index. Claiming is a CAS
+  // that increments the low half only while the high half still names the
+  // claimant's epoch.
+  static std::uint64_t pack(std::uint32_t epoch, std::uint32_t index) {
+    return (static_cast<std::uint64_t>(epoch) << 32) | index;
+  }
+
+  void worker_main();
+  void claim_loop(std::uint32_t epoch, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;  // workers wait for a new epoch
+  std::condition_variable done_cv_;   // the caller waits for completion
+  const std::function<void(std::size_t)>* job_ = nullptr;  // guarded by mu_
+  std::size_t job_n_ = 0;                                  // guarded by mu_
+  std::size_t completed_ = 0;                              // guarded by mu_
+  std::uint32_t epoch_ = 0;                                // guarded by mu_
+  bool stop_ = false;                                      // guarded by mu_
+
+  std::atomic<std::uint64_t> state_{0};
+};
 
 }  // namespace mcb::harness

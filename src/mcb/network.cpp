@@ -2,16 +2,58 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <thread>
 #include <utility>
 
+#include "harness/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace mcb {
 
+namespace {
+
+/// Stripe count for the parallel engine. Fixed (never derived from the
+/// thread count) so the stripe an id belongs to — and therefore which arena
+/// its frames live in and which buffer its wakes land in — is a pure
+/// function of (p, id). That makes every reduced number, including the
+/// arena telemetry, identical for any worker count.
+constexpr std::size_t kStripeCount = 64;
+
+/// Below this many items a parallel pass runs inline on the coordinator
+/// (same stripe order, same arenas — identical results, no dispatch cost).
+/// Sparse cycles of skip-heavy protocols stay serial; dense cycles fan out.
+constexpr std::size_t kParallelBatchMin = 64;
+
+}  // namespace
+
+/// One shard of the parallel engine: a contiguous processor-id range
+/// [begin, end) with its own frame arena and per-cycle buffers. A stripe is
+/// touched by exactly one worker per pass (workers claim whole stripes), so
+/// nothing here is synchronized beyond the pool barrier.
+struct Network::Stripe {
+  struct WakeReg {
+    ProcId id;
+    Cycle wake;
+  };
+
+  util::FrameArena arena;
+
+  // Per-cycle deltas, merged (and cleared) at the barrier in stripe order.
+  std::vector<WakeReg> wakes;
+  std::vector<ProcId> active;
+  std::vector<ChannelId> dirty;
+  std::uint64_t msgs = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t completions = 0;
+  std::exception_ptr error;
+};
+
 Network::Network(SimConfig cfg, TraceSink* sink)
     : cfg_(cfg), sink_(sink), sched_(cfg.p, cfg.k) {
   cfg_.validate();
-  event_mode_ = cfg_.engine == Engine::kEventDriven;
+  mode_ = cfg_.engine;
+  tab_.resize(cfg_.p);
   procs_.reserve(cfg_.p);
   for (std::size_t i = 0; i < cfg_.p; ++i) {
     // Proc's constructor is private (Network is its only factory), so
@@ -20,10 +62,25 @@ Network::Network(SimConfig cfg, TraceSink* sink)
         new Proc(*this, static_cast<ProcId>(i))));  // lint-allow: naked-new
   }
   installed_.assign(cfg_.p, false);
-  slots_.resize(cfg_.k);
+  slot_written_ = std::vector<std::atomic<std::uint8_t>>(cfg_.k);
+  for (auto& f : slot_written_) f.store(0, std::memory_order_relaxed);
+  slot_writer_.assign(cfg_.k, 0);
+  slot_msg_.resize(cfg_.k);
   stats_.messages_per_proc.assign(cfg_.p, 0);
   stats_.messages_per_channel.assign(cfg_.k, 0);
+
+  if (mode_ == Engine::kParallel) {
+    stripe_width_ = (cfg_.p + kStripeCount - 1) / kStripeCount;
+    const std::size_t stripes =
+        (cfg_.p + stripe_width_ - 1) / stripe_width_;
+    stripes_.reserve(stripes);
+    for (std::size_t s = 0; s < stripes; ++s) {
+      stripes_.push_back(std::make_unique<Stripe>());
+    }
+  }
 }
+
+Network::~Network() = default;
 
 Proc& Network::proc(ProcId i) {
   MCB_REQUIRE(i < procs_.size(), "processor index " << i << " of " << cfg_.p);
@@ -37,37 +94,45 @@ void Network::install(ProcId i, ProcMain program) {
                   std::count(installed_.begin(), installed_.end(), true)),
               "programs/installed bookkeeping out of sync");
   program.handle().promise().proc = procs_[i].get();
-  procs_[i]->resume_point_ = program.handle();
-  procs_[i]->program_ = program.handle();
+  tab_.resume_point[i] = program.handle();
+  tab_.program[i] = program.handle();
   installed_[i] = true;
   programs_.push_back(std::move(program));
 }
 
-void Network::resume_proc(Proc& pr) {
+void Network::resume_proc(ProcId id) {
   ++stats_.proc_resumes;
-  pr.resume_point_.resume();
-  if (pr.done_) {
+  tab_.resume_point[id].resume();
+  if (tab_.done[id]) {
     --alive_;
     // Surface any exception that escaped the program. The handle is stored
-    // on the Proc at install time, so this is O(1) per completion.
-    if (auto exc = pr.program_.promise().exception) {
+    // in the table at install time, so this is O(1) per completion.
+    if (auto exc = tab_.program[id].promise().exception) {
       std::rethrow_exception(exc);
     }
   }
 }
 
 void Network::on_cycle_op(Proc& pr) {
-  pr.wake_cycle_ = now_ + 1;
-  if (event_mode_) {
-    sched_.add_active(&pr);
-    sched_.schedule_wake(&pr, pr.id_, pr.wake_cycle_, now_);
+  const ProcId id = pr.id_;
+  tab_.wake_cycle[id] = now_ + 1;
+  if (mode_ == Engine::kEventDriven) {
+    sched_.add_active(id);
+    sched_.schedule_wake(id, now_ + 1, now_);
+  } else if (mode_ == Engine::kParallel) {
+    Stripe& s = *tl_stripe_;
+    s.active.push_back(id);
+    s.wakes.push_back(Stripe::WakeReg{id, now_ + 1});
   }
 }
 
 void Network::on_sleep(Proc& pr, Cycle t) {
-  pr.wake_cycle_ = now_ + t;
-  if (event_mode_) {
-    sched_.schedule_wake(&pr, pr.id_, pr.wake_cycle_, now_);
+  const ProcId id = pr.id_;
+  tab_.wake_cycle[id] = now_ + t;
+  if (mode_ == Engine::kEventDriven) {
+    sched_.schedule_wake(id, now_ + t, now_);
+  } else if (mode_ == Engine::kParallel) {
+    tl_stripe_->wakes.push_back(Stripe::WakeReg{id, now_ + t});
   }
 }
 
@@ -114,6 +179,51 @@ void Network::throw_max_cycles() const {
                       " — deadlocked or runaway protocol");
 }
 
+void Network::clear_intents(ProcId i) {
+  tab_.pending_write[i].reset();
+  tab_.pending_read[i].reset();
+  tab_.pending_read_all[i] = 0;
+}
+
+void Network::apply_read(ProcId i) {
+  tab_.read_result[i].reset();
+  if (const auto& rc = tab_.pending_read[i]) {
+    if (slot_written_[*rc].load(std::memory_order_relaxed) != 0) {
+      tab_.read_result[i] = slot_msg_[*rc];
+    }
+  }
+  if (tab_.pending_read_all[i] != 0) {
+    auto& out = tab_.read_all_results[i];
+    out.assign(cfg_.k, std::nullopt);
+    for (std::size_t c = 0; c < cfg_.k; ++c) {
+      if (slot_written_[c].load(std::memory_order_relaxed) != 0) {
+        out[c] = slot_msg_[c];
+      }
+    }
+  }
+}
+
+void Network::emit_event(ProcId i) {
+  const auto& w = tab_.pending_write[i];
+  if (!w && !tab_.pending_read[i] && tab_.pending_read_all[i] == 0) {
+    return;
+  }
+  CycleEvent ev;
+  ev.cycle = now_;
+  ev.proc = i;
+  if (w) {
+    ev.wrote = w->channel;
+    ev.sent = w->msg;
+  }
+  ev.read = tab_.pending_read[i];
+  ev.received = tab_.read_result[i];
+  if (tab_.pending_read_all[i] != 0) {
+    ev.read_all = true;
+    ev.received_all = tab_.read_all_results[i];
+  }
+  sink_->on_event(ev);
+}
+
 RunStats Network::run() {
   MCB_REQUIRE(!ran_, "Network::run() is single-shot");
   MCB_REQUIRE(std::all_of(installed_.begin(), installed_.end(),
@@ -121,32 +231,68 @@ RunStats Network::run() {
               "every processor needs a program before run()");
   ran_ = true;
 
+  const bool parallel = mode_ == Engine::kParallel;
+
+  // The worker pool lives for exactly one run. Sized from SimConfig::threads
+  // (0 = hardware), capped at the stripe count — a stripe is the unit of
+  // work, so extra lanes could never claim anything.
+  std::unique_ptr<harness::WorkerPool> pool;
+  if (parallel) {
+    std::size_t t = cfg_.threads;
+    if (t == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      t = hw == 0 ? 1 : hw;
+    }
+    t = std::min(t, stripes_.size());
+    if (t > 1) {
+      pool = std::make_unique<harness::WorkerPool>(t);
+      pool_ = pool.get();
+    }
+  }
+
   // Route coroutine frame allocations (Task subroutine frames created by
   // protocol code from here on) through this network's arena. The scope
   // nests, so a hosted Network run inside a program restores the outer
   // arena when it finishes. No-op layout-wise under MCB_FRAME_ARENA=OFF.
-  util::FrameArenaScope frame_scope(&arena_);
+  // The parallel engine skips this: its resume passes install the stripe
+  // arenas instead, whichever thread ends up running the stripe.
+  std::unique_ptr<util::FrameArenaScope> frame_scope;
+  if (!parallel) {
+    frame_scope = std::make_unique<util::FrameArenaScope>(&arena_);
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Initial resume: run every program up to its first cycle boundary.
   alive_ = cfg_.p;
-  for (auto& pr : procs_) {
-    if (!pr->done_) resume_proc(*pr);
-  }
-
-  if (event_mode_) {
-    run_event_loop();
+  if (parallel) {
+    std::vector<ProcId> all(cfg_.p);
+    for (std::size_t i = 0; i < cfg_.p; ++i) {
+      all[i] = static_cast<ProcId>(i);
+    }
+    parallel_resume(all, /*initial=*/true);
   } else {
-    run_reference_loop();
+    for (ProcId i = 0; i < cfg_.p; ++i) {
+      if (tab_.done[i] == 0) resume_proc(i);
+    }
   }
 
+  switch (mode_) {
+    case Engine::kEventDriven:
+      run_event_loop();
+      break;
+    case Engine::kReference:
+      run_reference_loop();
+      break;
+    case Engine::kParallel:
+      run_parallel_loop();
+      break;
+  }
+
+  pool_ = nullptr;
   finish_phase();
   stats_.cycles = now_;
-  stats_.peak_aux_words.resize(cfg_.p);
-  for (std::size_t i = 0; i < cfg_.p; ++i) {
-    stats_.peak_aux_words[i] = procs_[i]->peak_aux_words_;
-  }
+  stats_.peak_aux_words = tab_.peak_aux_words;
 
   const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - wall_start)
@@ -156,12 +302,33 @@ RunStats Network::run() {
       safe_cycles_per_sec(stats_.cycles, stats_.sim_wall_ns);
 
   // Allocation telemetry (host-side, like sim_wall_ns; all zero under
-  // MCB_FRAME_ARENA=OFF where frames go through plain global new).
-  const util::ArenaStats& as = arena_.stats();
-  stats_.frame_allocs = as.allocs;
-  stats_.frame_frees = as.frees;
-  stats_.arena_bytes_peak = as.bytes_peak;
-  stats_.arena_hit_rate = as.hit_rate();
+  // MCB_FRAME_ARENA=OFF where frames go through plain global new). The
+  // parallel engine reduces its stripe arenas by sum — stripes are a
+  // function of p alone, so the totals are thread-count independent
+  // (bytes_peak is the sum of per-stripe peaks, not a global peak).
+  if (parallel) {
+    std::uint64_t allocs = 0, frees = 0, peak = 0, slabs = 0;
+    for (const auto& s : stripes_) {
+      const util::ArenaStats& as = s->arena.stats();
+      allocs += as.allocs;
+      frees += as.frees;
+      peak += as.bytes_peak;
+      slabs += as.slab_allocs;
+    }
+    stats_.frame_allocs = allocs;
+    stats_.frame_frees = frees;
+    stats_.arena_bytes_peak = peak;
+    stats_.arena_hit_rate =
+        allocs == 0 ? 0.0
+                    : static_cast<double>(allocs - slabs) /
+                          static_cast<double>(allocs);
+  } else {
+    const util::ArenaStats& as = arena_.stats();
+    stats_.frame_allocs = as.allocs;
+    stats_.frame_frees = as.frees;
+    stats_.arena_bytes_peak = as.bytes_peak;
+    stats_.arena_hit_rate = as.hit_rate();
+  }
   return stats_;
 }
 
@@ -190,151 +357,298 @@ void Network::run_event_loop() {
     // Step 1: writes. Collision check per the model. `active` holds the
     // processors that suspended with a channel intent, in id order — the
     // same order the reference scan visits them.
-    for (Proc* pr : active) {
-      if (!pr->pending_write_) continue;
-      auto& slot = slots_[pr->pending_write_->channel];
-      if (slot.written) {
-        throw CollisionError(now_, pr->pending_write_->channel, slot.writer,
-                             pr->id_);
+    for (ProcId id : active) {
+      const auto& w = tab_.pending_write[id];
+      if (!w) continue;
+      const ChannelId c = w->channel;
+      if (slot_written_[c].load(std::memory_order_relaxed) != 0) {
+        throw CollisionError(now_, c, slot_writer_[c], id);
       }
-      slot.written = true;
-      slot.writer = pr->id_;
-      slot.msg = pr->pending_write_->msg;
-      sched_.mark_dirty(pr->pending_write_->channel);
+      slot_written_[c].store(1, std::memory_order_relaxed);
+      slot_writer_[c] = id;
+      slot_msg_[c] = w->msg;
+      sched_.mark_dirty(c);
       ++stats_.messages;
-      ++stats_.messages_per_proc[pr->id_];
-      ++stats_.messages_per_channel[pr->pending_write_->channel];
+      ++stats_.messages_per_proc[id];
+      ++stats_.messages_per_channel[c];
     }
 
     // Step 2: reads (concurrent reads allowed; silence is observable).
-    for (Proc* pr : active) {
-      pr->read_result_.reset();
-      if (pr->pending_read_) {
-        const auto& slot = slots_[*pr->pending_read_];
-        if (slot.written) pr->read_result_ = slot.msg;
-      }
-      if (pr->pending_read_all_) {
-        pr->read_all_results_.assign(cfg_.k, std::nullopt);
-        for (std::size_t c = 0; c < cfg_.k; ++c) {
-          if (slots_[c].written) pr->read_all_results_[c] = slots_[c].msg;
-        }
-      }
-    }
+    for (ProcId id : active) apply_read(id);
 
     if (sink_ != nullptr) {
-      for (Proc* pr : active) {
-        if (!pr->pending_write_ && !pr->pending_read_ &&
-            !pr->pending_read_all_) {
-          continue;
-        }
-        CycleEvent ev;
-        ev.cycle = now_;
-        ev.proc = pr->id_;
-        if (pr->pending_write_) {
-          ev.wrote = pr->pending_write_->channel;
-          ev.sent = pr->pending_write_->msg;
-        }
-        ev.read = pr->pending_read_;
-        ev.received = pr->read_result_;
-        if (pr->pending_read_all_) {
-          ev.read_all = true;
-          ev.received_all = pr->read_all_results_;
-        }
-        sink_->on_event(ev);
-      }
+      for (ProcId id : active) emit_event(id);
     }
 
     // Step 3: the cycle completes. Clear only the channels written this
     // cycle, then resume every processor due at the new time, in processor
     // order (the drain is id-sorted; processors re-registering while it is
     // iterated wake strictly later and land in fresh buckets).
-    for (ChannelId c : sched_.dirty()) slots_[c].written = false;
+    for (ChannelId c : sched_.dirty()) {
+      slot_written_[c].store(0, std::memory_order_relaxed);
+    }
     sched_.clear_dirty();
     sched_.clear_active();
     ++now_;
-    for (const Scheduler::Entry& e : sched_.drain_due(now_)) {
-      Proc* pr = e.proc;
-      pr->pending_write_.reset();
-      pr->pending_read_.reset();
-      pr->pending_read_all_ = false;
-      resume_proc(*pr);
+    for (ProcId id : sched_.drain_due(now_)) {
+      clear_intents(id);
+      resume_proc(id);
     }
   }
 }
 
 // The scan-the-world reference loop — the seed implementation, kept as the
 // executable specification of the cycle semantics and as the baseline that
-// bench_simspeed measures the event engine against.
+// bench_simspeed measures the other engines against.
 void Network::run_reference_loop() {
   while (alive_ > 0) {
     if (now_ >= cfg_.max_cycles) throw_max_cycles();
 
     // Step 1: writes. Collision check per the model.
-    for (auto& slot : slots_) slot.written = false;
-    for (auto& pr : procs_) {
-      if (pr->done_ || !pr->pending_write_) continue;
-      auto& slot = slots_[pr->pending_write_->channel];
-      if (slot.written) {
-        throw CollisionError(now_, pr->pending_write_->channel, slot.writer,
-                             pr->id_);
+    for (auto& f : slot_written_) f.store(0, std::memory_order_relaxed);
+    for (ProcId id = 0; id < cfg_.p; ++id) {
+      if (tab_.done[id] != 0) continue;
+      const auto& w = tab_.pending_write[id];
+      if (!w) continue;
+      const ChannelId c = w->channel;
+      if (slot_written_[c].load(std::memory_order_relaxed) != 0) {
+        throw CollisionError(now_, c, slot_writer_[c], id);
       }
-      slot.written = true;
-      slot.writer = pr->id_;
-      slot.msg = pr->pending_write_->msg;
+      slot_written_[c].store(1, std::memory_order_relaxed);
+      slot_writer_[c] = id;
+      slot_msg_[c] = w->msg;
       ++stats_.messages;
-      ++stats_.messages_per_proc[pr->id_];
-      ++stats_.messages_per_channel[pr->pending_write_->channel];
+      ++stats_.messages_per_proc[id];
+      ++stats_.messages_per_channel[c];
     }
 
     // Step 2: reads (concurrent reads allowed; silence is observable).
-    for (auto& pr : procs_) {
-      if (pr->done_) continue;
-      pr->read_result_.reset();
-      if (pr->pending_read_) {
-        const auto& slot = slots_[*pr->pending_read_];
-        if (slot.written) pr->read_result_ = slot.msg;
-      }
-      if (pr->pending_read_all_) {
-        pr->read_all_results_.assign(cfg_.k, std::nullopt);
-        for (std::size_t c = 0; c < cfg_.k; ++c) {
-          if (slots_[c].written) pr->read_all_results_[c] = slots_[c].msg;
-        }
-      }
+    for (ProcId id = 0; id < cfg_.p; ++id) {
+      if (tab_.done[id] == 0) apply_read(id);
     }
 
     if (sink_ != nullptr) {
-      for (auto& pr : procs_) {
-        if (pr->done_ || (!pr->pending_write_ && !pr->pending_read_ &&
-                          !pr->pending_read_all_)) {
-          continue;
-        }
-        CycleEvent ev;
-        ev.cycle = now_;
-        ev.proc = pr->id_;
-        if (pr->pending_write_) {
-          ev.wrote = pr->pending_write_->channel;
-          ev.sent = pr->pending_write_->msg;
-        }
-        ev.read = pr->pending_read_;
-        ev.received = pr->read_result_;
-        if (pr->pending_read_all_) {
-          ev.read_all = true;
-          ev.received_all = pr->read_all_results_;
-        }
-        sink_->on_event(ev);
+      for (ProcId id = 0; id < cfg_.p; ++id) {
+        if (tab_.done[id] == 0) emit_event(id);
       }
     }
 
     // Step 3: the cycle completes; resume local computation of every
     // processor due this cycle (in processor order, for determinism).
     ++now_;
-    for (auto& pr : procs_) {
-      if (pr->done_ || pr->wake_cycle_ > now_) continue;
-      pr->pending_write_.reset();
-      pr->pending_read_.reset();
-      pr->pending_read_all_ = false;
-      resume_proc(*pr);
+    for (ProcId id = 0; id < cfg_.p; ++id) {
+      if (tab_.done[id] != 0 || tab_.wake_cycle[id] > now_) continue;
+      clear_intents(id);
+      resume_proc(id);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine.
+//
+// Same wake queue and cycle structure as the event loop; the three per-cycle
+// passes (write scan, read scan, resume) fan out over stripe segments and
+// meet at a barrier (each WorkerPool::run is one). Everything order-
+// sensitive — trace emission, wake merging, stats accumulation, collision
+// and exception reporting — happens serially on the coordinator between
+// barriers, in stripe order, which equals processor-id order because
+// stripes are contiguous id ranges. See docs/ENGINE.md ("Parallel engine").
+// ---------------------------------------------------------------------------
+
+/// Splits an id-sorted list into per-stripe contiguous segments.
+void Network::build_segments(const std::vector<ProcId>& ids) {
+  segments_.clear();
+  segment_ids_ = &ids;
+  const std::size_t n = ids.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const auto stripe = static_cast<std::uint32_t>(ids[i] / stripe_width_);
+    const ProcId limit =
+        static_cast<ProcId>((stripe + 1) * stripe_width_);
+    std::size_t j = i + 1;
+    while (j < n && ids[j] < limit) ++j;
+    segments_.push_back(Segment{stripe, static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(j)});
+    i = j;
+  }
+}
+
+/// Runs fn over every segment: on the pool when the batch is worth the
+/// dispatch, inline on the coordinator otherwise. Both paths execute the
+/// identical per-stripe code, so the choice is invisible in the results.
+void Network::dispatch_segments(std::size_t total_items,
+                                const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = segments_.size();
+  if (pool_ != nullptr && n > 1 && total_items >= kParallelBatchMin) {
+    pool_->run(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+/// Parallel write scan over the active list. Slots are claimed with an
+/// atomic exchange; a lost claim only sets a flag — the exact, deterministic
+/// CollisionError (first writer in id order) is reconstructed serially by
+/// rethrow_collision, since the racy claim winner may be either writer.
+void Network::parallel_writes(const std::vector<ProcId>& active) {
+  build_segments(active);
+  collision_flag_.store(0, std::memory_order_relaxed);
+  auto task = [this](std::size_t si) {
+    const Segment seg = segments_[si];
+    Stripe& s = *stripes_[seg.stripe];
+    const auto& ids = *segment_ids_;
+    std::uint64_t msgs = 0;
+    for (std::uint32_t j = seg.lo; j < seg.hi; ++j) {
+      const ProcId id = ids[j];
+      const auto& w = tab_.pending_write[id];
+      if (!w) continue;
+      const ChannelId c = w->channel;
+      if (slot_written_[c].exchange(1, std::memory_order_acq_rel) != 0) {
+        collision_flag_.store(1, std::memory_order_relaxed);
+        continue;
+      }
+      slot_writer_[c] = id;
+      slot_msg_[c] = w->msg;
+      s.dirty.push_back(c);
+      ++msgs;
+      ++stats_.messages_per_proc[id];
+      ++stats_.messages_per_channel[c];
+    }
+    s.msgs += msgs;
+  };
+  dispatch_segments(active.size(), task);
+  if (collision_flag_.load(std::memory_order_relaxed) != 0) {
+    rethrow_collision(active);
+  }
+  // Merge the per-stripe deltas before anything downstream can observe
+  // stats_.messages (mark_phase and span marks read it during resumes).
+  for (const Segment& seg : segments_) {
+    Stripe& s = *stripes_[seg.stripe];
+    stats_.messages += s.msgs;
+    s.msgs = 0;
+    for (ChannelId c : s.dirty) sched_.mark_dirty(c);
+    s.dirty.clear();
+  }
+}
+
+/// Serial re-scan in id order reproducing the reference engine's exact
+/// CollisionError (cycle, channel, first and second writer).
+void Network::rethrow_collision(const std::vector<ProcId>& active) {
+  std::vector<std::uint8_t> seen(cfg_.k, 0);
+  std::vector<ProcId> first(cfg_.k, 0);
+  for (ProcId id : active) {
+    const auto& w = tab_.pending_write[id];
+    if (!w) continue;
+    const ChannelId c = w->channel;
+    if (seen[c] != 0) throw CollisionError(now_, c, first[c], id);
+    seen[c] = 1;
+    first[c] = id;
+  }
+  MCB_CHECK(false, "write collision flagged but the id-order re-scan found "
+                   "none");
+}
+
+/// Resumes every id in `ids` (id-sorted), fanned out over stripe segments.
+/// Wake/active registrations are buffered per stripe and merged at the
+/// barrier in stripe order — which is id order — so the scheduler's
+/// next-bucket stays id-sorted by construction, exactly as in the serial
+/// engines. Exceptions abort the throwing stripe at the throw point; the
+/// lowest-stripe error is rethrown, which names the same first thrower as a
+/// serial id-order drain would.
+void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial) {
+  build_segments(ids);
+  auto task = [this, initial](std::size_t si) {
+    const Segment seg = segments_[si];
+    Stripe& s = *stripes_[seg.stripe];
+    util::FrameArenaScope frame_scope(&s.arena);
+    tl_stripe_ = &s;
+    const auto& due = *segment_ids_;
+    try {
+      for (std::uint32_t j = seg.lo; j < seg.hi; ++j) {
+        const ProcId id = due[j];
+        if (!initial) clear_intents(id);
+        ++s.resumes;
+        tab_.resume_point[id].resume();
+        if (tab_.done[id] != 0) {
+          ++s.completions;
+          if (auto exc = tab_.program[id].promise().exception) {
+            std::rethrow_exception(exc);
+          }
+        }
+      }
+    } catch (...) {
+      s.error = std::current_exception();
+    }
+    tl_stripe_ = nullptr;
+  };
+  dispatch_segments(ids.size(), task);
+
+  for (const Segment& seg : segments_) {
+    Stripe& s = *stripes_[seg.stripe];
+    if (s.error != nullptr && pending_error_ == nullptr) {
+      pending_error_ = s.error;
+    }
+    s.error = nullptr;
+    for (const Stripe::WakeReg& w : s.wakes) {
+      sched_.schedule_wake(w.id, w.wake, now_);
+    }
+    for (ProcId id : s.active) sched_.add_active(id);
+    stats_.proc_resumes += s.resumes;
+    alive_ -= s.completions;
+    s.wakes.clear();
+    s.active.clear();
+    s.resumes = 0;
+    s.completions = 0;
+  }
+  if (pending_error_ != nullptr) {
+    std::exception_ptr e = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void Network::run_parallel_loop() {
+  while (alive_ > 0) {
+    MCB_REQUIRE(!sched_.queue_empty(),
+                "live processors but an empty wake queue");
+
+    const Cycle next = sched_.next_wake(now_);
+    if (next > now_ + 1) now_ = next - 1;
+    if (now_ >= cfg_.max_cycles) throw_max_cycles();
+
+    const auto& active = sched_.active();
+
+    if (!active.empty()) {
+      // Step 1: parallel write scan (ends at a barrier; the merge of the
+      // message deltas happens inside, before anything reads them).
+      parallel_writes(active);
+
+      // Step 2: parallel read scan. Reuses the segments parallel_writes
+      // built for the same active list; all slot state is stable here.
+      dispatch_segments(active.size(), [this](std::size_t si) {
+        const Segment seg = segments_[si];
+        const auto& ids = *segment_ids_;
+        for (std::uint32_t j = seg.lo; j < seg.hi; ++j) apply_read(ids[j]);
+      });
+
+      // Trace/conformance emission stays serial, in id order — sinks are
+      // not thread-safe and their stream is part of the identity contract.
+      if (sink_ != nullptr) {
+        for (ProcId id : active) emit_event(id);
+      }
+    }
+
+    for (ChannelId c : sched_.dirty()) {
+      slot_written_[c].store(0, std::memory_order_relaxed);
+    }
+    sched_.clear_dirty();
+    sched_.clear_active();
+    ++now_;
+
+    // Step 3: parallel resume of everything due, stripe-merged at the
+    // barrier.
+    parallel_resume(sched_.drain_due(now_), /*initial=*/false);
   }
 }
 

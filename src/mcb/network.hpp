@@ -11,7 +11,7 @@
 // Complexity accounting is exact: `cycles` counts synchronous rounds until
 // every program has completed, `messages` counts channel writes.
 //
-// Two engines implement these semantics (SimConfig::engine):
+// Three engines implement these semantics (SimConfig::engine):
 //
 //   * kEventDriven (default) — a wake-queue scheduler (mcb/scheduler.hpp).
 //     Suspending processors register their wake cycle and channel intents;
@@ -21,12 +21,24 @@
 //
 //   * kReference — the original scan-the-world loop: three O(p) passes and
 //     an O(k) slot sweep per cycle. It is the executable specification the
-//     event engine is tested against (tests/scheduler_equivalence_test.cpp
+//     other engines are tested against (tests/scheduler_equivalence_test.cpp
 //     asserts bit-identical statistics).
 //
-// See docs/ENGINE.md for the equivalence argument.
+//   * kParallel — the event engine's wake queue plus a persistent worker
+//     pool: each cycle's write scan, read scan and resume pass fan out over
+//     fixed processor stripes and merge deterministically at the barrier.
+//     Identical observable output for any thread count.
+//
+// All engines walk the same struct-of-arrays state: per-processor hot state
+// lives in a ProcTable (mcb/proc_table.hpp) and channel slots in flat
+// per-channel arrays, both owned by this class. See docs/ENGINE.md for the
+// equivalence argument.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -35,11 +47,16 @@
 #include "mcb/coro.hpp"
 #include "mcb/errors.hpp"
 #include "mcb/proc.hpp"
+#include "mcb/proc_table.hpp"
 #include "mcb/scheduler.hpp"
 #include "mcb/sim_config.hpp"
 #include "mcb/stats.hpp"
 #include "mcb/trace.hpp"
 #include "util/arena.hpp"
+
+namespace mcb::harness {
+class WorkerPool;  // src/harness/thread_pool.hpp; only Engine::kParallel
+}  // namespace mcb::harness
 
 namespace mcb {
 
@@ -48,6 +65,7 @@ class Network {
   /// Creates the network with all p processor contexts; programs are
   /// attached afterwards with install(). `sink` may be nullptr.
   explicit Network(SimConfig cfg, TraceSink* sink = nullptr);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -85,45 +103,85 @@ class Network {
   friend struct Proc::SkipAwaiter;
   friend struct Proc::MultiReadAwaiter;
 
+  // One shard of the parallel engine (defined in network.cpp): a contiguous
+  // processor-id range with its own frame arena, wake/active buffers and
+  // stats deltas. Stripe count depends only on p — never on the thread
+  // count — so the reduction at the barrier is bitwise reproducible.
+  struct Stripe;
+
   // Suspension hooks called by the Proc awaiters. on_cycle_op: `pr` holds a
   // channel intent for the cycle in flight and wakes next cycle. on_sleep:
   // `pr` sleeps for t cycles with no channel activity.
   void on_cycle_op(Proc& pr);
   void on_sleep(Proc& pr, Cycle t);
 
-  void resume_proc(Proc& pr);
+  void resume_proc(ProcId id);
   void run_event_loop();
   void run_reference_loop();
+  void run_parallel_loop();
   [[noreturn]] void throw_max_cycles() const;
   void finish_phase();
+
+  // Shared cycle steps over the SoA state (used by all engines).
+  void apply_read(ProcId i);
+  void emit_event(ProcId i);  // requires sink_ != nullptr
+  void clear_intents(ProcId i);
+
+  // Parallel-engine internals (network.cpp).
+  void build_segments(const std::vector<ProcId>& ids);
+  void dispatch_segments(std::size_t n,
+                         const std::function<void(std::size_t)>& fn);
+  void parallel_writes(const std::vector<ProcId>& active);
+  [[noreturn]] void rethrow_collision(const std::vector<ProcId>& active);
+  void parallel_resume(const std::vector<ProcId>& ids, bool initial);
 
   SimConfig cfg_;
   TraceSink* sink_;
 
-  // Frame arena for this network's coroutine frames, installed thread_local
-  // for the duration of run(). Declared before programs_ so it is destroyed
-  // after them: destroying a suspended program (e.g. after a CollisionError
-  // aborted the run) frees its in-scope Task frames back into this arena.
+  // Frame arenas for this network's coroutine frames. The serial engines
+  // install arena_ thread_local for the duration of run(); the parallel
+  // engine gives each stripe its own arena shard instead (stripes_).
+  // Declared before programs_ so they are destroyed after them: destroying
+  // a suspended program (e.g. after a CollisionError aborted the run) frees
+  // its in-scope Task frames back into the owning arena.
   util::FrameArena arena_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 
+  ProcTable tab_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<ProcMain> programs_;  // parallel to procs_; keeps frames alive
   std::vector<bool> installed_;
 
-  // Channel state for the cycle in flight: who wrote, and what.
-  struct Slot {
-    bool written = false;
-    ProcId writer = 0;
-    Message msg;
-  };
-  std::vector<Slot> slots_;
+  // Channel state for the cycle in flight, struct-of-arrays: who wrote, and
+  // what. The written flags are atomic so the parallel write scan can claim
+  // a slot with one exchange; the serial engines use relaxed loads/stores,
+  // which compile to plain moves.
+  std::vector<std::atomic<std::uint8_t>> slot_written_;
+  std::vector<ProcId> slot_writer_;
+  std::vector<Message> slot_msg_;
 
   Scheduler sched_;
-  bool event_mode_ = true;
+  Engine mode_ = Engine::kEventDriven;
 
   Cycle now_ = 0;
   std::size_t alive_ = 0;
   bool ran_ = false;
+
+  // Parallel-engine per-cycle scratch (see run_parallel_loop).
+  harness::WorkerPool* pool_ = nullptr;  // non-null only inside a parallel run
+  std::size_t stripe_width_ = 0;         // processor ids per stripe
+  struct Segment {
+    std::uint32_t stripe;
+    std::uint32_t lo, hi;  // index range into the id list being partitioned
+  };
+  std::vector<Segment> segments_;
+  const std::vector<ProcId>* segment_ids_ = nullptr;
+  std::atomic<std::uint8_t> collision_flag_{0};
+  std::exception_ptr pending_error_;
+  // Stripe the current thread is executing on behalf of, so the suspension
+  // hooks buffer wake/active registrations locally instead of touching the
+  // shared scheduler (nullptr outside a parallel resume pass).
+  inline static thread_local Stripe* tl_stripe_ = nullptr;
 
   RunStats stats_;
   std::string phase_name_;

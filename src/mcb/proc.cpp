@@ -12,6 +12,8 @@ std::size_t Proc::p() const { return net_->config().p; }
 std::size_t Proc::k() const { return net_->config().k; }
 Cycle Proc::now() const { return net_->now(); }
 
+void Proc::mark_done() { net_->tab_.done[id_] = 1; }
+
 Proc::CycleAwaiter Proc::cycle(std::optional<WriteOp> write,
                                std::optional<ChannelId> read) {
   if (write) {
@@ -22,8 +24,8 @@ Proc::CycleAwaiter Proc::cycle(std::optional<WriteOp> write,
     MCB_REQUIRE(*read < k(), "P" << id_ + 1 << " reading channel " << *read
                                  << " of " << k());
   }
-  pending_write_ = std::move(write);
-  pending_read_ = read;
+  net_->tab_.pending_write[id_] = std::move(write);
+  net_->tab_.pending_read[id_] = read;
   return CycleAwaiter{*this};
 }
 
@@ -49,14 +51,15 @@ Proc::MultiReadAwaiter Proc::cycle_all(std::optional<WriteOp> write) {
     MCB_REQUIRE(write->channel < k(), "P" << id_ + 1 << " writing channel "
                                           << write->channel << " of " << k());
   }
-  pending_write_ = std::move(write);
-  pending_read_.reset();
-  pending_read_all_ = true;
+  net_->tab_.pending_write[id_] = std::move(write);
+  net_->tab_.pending_read[id_].reset();
+  net_->tab_.pending_read_all[id_] = 1;
   return MultiReadAwaiter{*this};
 }
 
 void Proc::note_aux(std::size_t words) {
-  peak_aux_words_ = std::max(peak_aux_words_, words);
+  auto& peak = net_->tab_.peak_aux_words[id_];
+  peak = std::max(peak, words);
 }
 
 void Proc::mark_phase(std::string name) { net_->mark_phase(std::move(name)); }
@@ -66,31 +69,32 @@ void Proc::span_begin(std::string_view name) { net_->span_begin(name); }
 void Proc::span_end() { net_->span_end(); }
 
 void Proc::CycleAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
-  proc.resume_point_ = h;
+  proc.net_->tab_.resume_point[proc.id_] = h;
   proc.net_->on_cycle_op(proc);
 }
 
 Proc::ReadResult Proc::CycleAwaiter::await_resume() const noexcept {
-  return std::move(proc.read_result_);
+  return std::move(proc.net_->tab_.read_result[proc.id_]);
 }
 
 void Proc::SkipAwaiter::await_suspend(std::coroutine_handle<> h) noexcept {
-  proc.pending_write_.reset();
-  proc.pending_read_.reset();
-  proc.pending_read_all_ = false;
-  proc.resume_point_ = h;
+  ProcTable& tab = proc.net_->tab_;
+  tab.pending_write[proc.id_].reset();
+  tab.pending_read[proc.id_].reset();
+  tab.pending_read_all[proc.id_] = 0;
+  tab.resume_point[proc.id_] = h;
   proc.net_->on_sleep(proc, t);
 }
 
 void Proc::MultiReadAwaiter::await_suspend(
     std::coroutine_handle<> h) noexcept {
-  proc.resume_point_ = h;
+  proc.net_->tab_.resume_point[proc.id_] = h;
   proc.net_->on_cycle_op(proc);
 }
 
 std::vector<Proc::ReadResult> Proc::MultiReadAwaiter::await_resume()
     const noexcept {
-  return std::move(proc.read_all_results_);
+  return std::move(proc.net_->tab_.read_all_results[proc.id_]);
 }
 
 }  // namespace mcb

@@ -110,26 +110,16 @@ class Proc {
   Proc(const Proc&) = delete;
   Proc& operator=(const Proc&) = delete;
 
-  void mark_done() { done_ = true; }
+  // Sets the done flag in the network's ProcTable (defined in proc.cpp,
+  // where Network is complete).
+  void mark_done();
 
+  // Proc is a thin handle: all hot per-processor state (wake cycle, channel
+  // intents, read results, resume handle) lives in the Network's ProcTable
+  // (mcb/proc_table.hpp), indexed by id_, so the engines scan flat arrays
+  // instead of chasing per-processor heap objects.
   Network* net_;
   ProcId id_;
-
-  // Scheduling state owned by the Network.
-  std::coroutine_handle<> resume_point_;  ///< innermost suspended coroutine
-  ProcMain::handle_type program_;  ///< this processor's top-level program,
-                                   ///< for O(1) exception retrieval on exit
-  bool done_ = false;
-  Cycle wake_cycle_ = 0;
-
-  // Per-cycle intents and results.
-  std::optional<WriteOp> pending_write_;
-  std::optional<ChannelId> pending_read_;
-  bool pending_read_all_ = false;
-  ReadResult read_result_;
-  std::vector<ReadResult> read_all_results_;
-
-  std::size_t peak_aux_words_ = 0;
 };
 
 inline std::coroutine_handle<>

@@ -1,0 +1,70 @@
+// Struct-of-arrays block holding the hot per-processor simulation state.
+//
+// The seed implementation kept wake cycle, channel intents, read results and
+// the resume handle as members of each heap-allocated Proc, so every engine
+// pass chased a unique_ptr per processor. The engines walk processors in id
+// order thousands of times per run; moving the per-processor state into flat
+// id-indexed arrays owned by the Network turns those walks into linear
+// scans of contiguous memory, and gives the parallel engine a layout where
+// "processor i's state" is a set of array slots that exactly one worker
+// touches per cycle (distinct indices — no sharing, no locks).
+//
+// Proc itself shrinks to a handle {Network*, ProcId}; all accessors index
+// this table through the owning network.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mcb/coro.hpp"
+#include "mcb/message.hpp"
+#include "mcb/proc.hpp"
+#include "mcb/types.hpp"
+
+namespace mcb {
+
+/// Per-processor state, one array element per processor, indexed by ProcId.
+/// Owned by Network (declared after the frame arenas, so coroutine frames
+/// outlive their handles here). The columns are written either serially or,
+/// under Engine::kParallel, by the single worker holding the stripe that
+/// owns the index — see docs/ENGINE.md for the sharing discipline.
+struct ProcTable {
+  /// Innermost suspended coroutine; resuming it continues the program.
+  std::vector<std::coroutine_handle<>> resume_point;
+  /// Top-level program handle, for O(1) exception retrieval on completion.
+  std::vector<ProcMain::handle_type> program;
+  /// Cycle at which the processor is next due.
+  std::vector<Cycle> wake_cycle;
+  /// Program completed (uint8_t, not vector<bool>: the parallel engine
+  /// writes neighbouring flags from different workers, and vector<bool>
+  /// packs bits into shared words).
+  std::vector<std::uint8_t> done;
+
+  // Per-cycle channel intents and results.
+  std::vector<std::optional<WriteOp>> pending_write;
+  std::vector<std::optional<ChannelId>> pending_read;
+  std::vector<std::uint8_t> pending_read_all;
+  std::vector<Proc::ReadResult> read_result;
+  std::vector<std::vector<Proc::ReadResult>> read_all_results;
+
+  /// Max storage noted via Proc::note_aux, per processor.
+  std::vector<std::size_t> peak_aux_words;
+
+  void resize(std::size_t p) {
+    resume_point.resize(p);
+    program.resize(p);
+    wake_cycle.assign(p, 0);
+    done.assign(p, 0);
+    pending_write.resize(p);
+    pending_read.resize(p);
+    pending_read_all.assign(p, 0);
+    read_result.resize(p);
+    read_all_results.resize(p);
+    peak_aux_words.assign(p, 0);
+  }
+};
+
+}  // namespace mcb

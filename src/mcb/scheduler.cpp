@@ -27,8 +27,8 @@ Scheduler::Scheduler(std::size_t p, std::size_t k) {
   dirty_.reserve(k);
 }
 
-void Scheduler::push_spill(Entry e, Cycle wake) {
-  spill_.push_back(SpillEntry{wake, e});
+void Scheduler::push_spill(ProcId id, Cycle wake) {
+  spill_.push_back(SpillEntry{wake, id});
   std::push_heap(spill_.begin(), spill_.end(), SpillLater{});
 }
 
@@ -52,7 +52,7 @@ Cycle Scheduler::next_wake(Cycle now) const {
   return spill_.front().wake;
 }
 
-const std::vector<Scheduler::Entry>& Scheduler::drain_due(Cycle now) {
+const std::vector<ProcId>& Scheduler::drain_due(Cycle now) {
   // The next bucket is id-sorted by construction; swapping it out recycles
   // the previous drain's capacity as the fresh next bucket.
   drain_entries_.clear();
@@ -75,7 +75,7 @@ const std::vector<Scheduler::Entry>& Scheduler::drain_due(Cycle now) {
   // the wheel horizon stay in the heap until their cycle arrives).
   while (!spill_.empty() && spill_.front().wake <= now) {
     std::pop_heap(spill_.begin(), spill_.end(), SpillLater{});
-    drain_entries_.push_back(spill_.back().entry);
+    drain_entries_.push_back(spill_.back().id);
     spill_.pop_back();
     merged = true;
   }
@@ -84,10 +84,9 @@ const std::vector<Scheduler::Entry>& Scheduler::drain_due(Cycle now) {
   // but most are already sorted (a wheel bucket filled during a single
   // registration cycle inherits that cycle's id-ordered drain), so a linear
   // is_sorted pass usually replaces the sort.
-  const auto by_id = [](const Entry& a, const Entry& b) { return a.id < b.id; };
   if (merged &&
-      !std::is_sorted(drain_entries_.begin(), drain_entries_.end(), by_id)) {
-    std::sort(drain_entries_.begin(), drain_entries_.end(), by_id);
+      !std::is_sorted(drain_entries_.begin(), drain_entries_.end())) {
+    std::sort(drain_entries_.begin(), drain_entries_.end());
   }
   pending_ -= drain_entries_.size();
   return drain_entries_;

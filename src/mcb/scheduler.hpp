@@ -57,32 +57,27 @@
 
 namespace mcb {
 
-class Proc;
-
 class Scheduler {
  public:
-  struct Entry {
-    ProcId id;
-    Proc* proc;
-  };
-
   Scheduler(std::size_t p, std::size_t k);
 
   // --- wake queue ---------------------------------------------------------
 
-  /// Registers `pr` (suspended at cycle `now`) to be resumed at `wake`,
-  /// with wake >= now + 1. A processor is scheduled at most once at a time
-  /// (it is suspended at a single awaiter).
-  void schedule_wake(Proc* pr, ProcId id, Cycle wake, Cycle now) {
+  /// Registers processor `id` (suspended at cycle `now`) to be resumed at
+  /// `wake`, with wake >= now + 1. A processor is scheduled at most once at
+  /// a time (it is suspended at a single awaiter). Entries are bare
+  /// processor ids — all per-processor state lives in the Network's
+  /// ProcTable, so the queue tiers are flat id arrays.
+  void schedule_wake(ProcId id, Cycle wake, Cycle now) {
     ++pending_;
     const Cycle ahead = wake - now;
     if (ahead == 1) {
-      next_bucket_.push_back(Entry{id, pr});
+      next_bucket_.push_back(id);
     } else if (ahead <= kWheelSize) {
-      wheel_[wake & kWheelMask].push_back(Entry{id, pr});
+      wheel_[wake & kWheelMask].push_back(id);
       ++wheel_count_;
     } else {
-      push_spill(Entry{id, pr}, wake);
+      push_spill(id, wake);
     }
   }
 
@@ -98,12 +93,12 @@ class Scheduler {
   /// returned entries are valid until the next drain; processors
   /// re-scheduling themselves while the caller iterates land in fresh
   /// buckets and are never part of the same drain.
-  const std::vector<Entry>& drain_due(Cycle now);
+  const std::vector<ProcId>& drain_due(Cycle now);
 
   // --- active list (participants of the cycle in flight) ------------------
 
-  void add_active(Proc* pr) { active_.push_back(pr); }
-  const std::vector<Proc*>& active() const { return active_; }
+  void add_active(ProcId id) { active_.push_back(id); }
+  const std::vector<ProcId>& active() const { return active_; }
   void clear_active() { active_.clear(); }
 
   // --- dirty channels -----------------------------------------------------
@@ -121,18 +116,18 @@ class Scheduler {
 
   struct SpillEntry {
     Cycle wake;
-    Entry entry;
+    ProcId id;
   };
 
-  void push_spill(Entry e, Cycle wake);
+  void push_spill(ProcId id, Cycle wake);
 
-  std::vector<Entry> next_bucket_;  ///< wakes at (drain cycle)+1
-  std::array<std::vector<Entry>, kWheelSize> wheel_;
+  std::vector<ProcId> next_bucket_;  ///< wakes at (drain cycle)+1
+  std::array<std::vector<ProcId>, kWheelSize> wheel_;
   std::size_t wheel_count_ = 0;     ///< entries across all wheel buckets
   std::vector<SpillEntry> spill_;   ///< min-heap on wake, beyond the wheel
   std::size_t pending_ = 0;         ///< entries across all three tiers
-  std::vector<Entry> drain_entries_;  ///< scratch, swapped with next bucket
-  std::vector<Proc*> active_;
+  std::vector<ProcId> drain_entries_;  ///< scratch, swapped with next bucket
+  std::vector<ProcId> active_;
   std::vector<ChannelId> dirty_;
 };
 

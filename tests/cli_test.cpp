@@ -2,6 +2,8 @@
 // subprocess tests of mcbsim's --json output (parsed back with util::json).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -190,6 +192,49 @@ TEST(McbsimJsonTest, SweepJsonIdenticalAcrossThreadFlags) {
   const auto t4 = run_command(std::string(mcbsim_bin()) + grid + "4");
   EXPECT_EQ(t1, t4);
   EXPECT_FALSE(t1.empty());
+}
+
+TEST(McbsimJsonTest, ParallelEngineMatchesEventAccounting) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  auto model_stats = [&](const std::string& engine_flags) {
+    const auto out =
+        run_command(std::string(mcbsim_bin()) +
+                    " select --p 8 --k 2 --n 256 --json " + engine_flags);
+    return json_parse(out);
+  };
+  const auto ev = model_stats("--engine event");
+  const auto par = model_stats("--engine parallel --threads 2");
+  EXPECT_EQ(par.at("config").at("engine").as_string(), "parallel");
+  EXPECT_EQ(par.at("value").as_number(), ev.at("value").as_number());
+  EXPECT_EQ(par.at("stats").at("cycles").as_number(),
+            ev.at("stats").at("cycles").as_number());
+  EXPECT_EQ(par.at("stats").at("messages").as_number(),
+            ev.at("stats").at("messages").as_number());
+}
+
+TEST(McbsimJsonTest, ThreadsFlagWithSerialEngineIsUsageError) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  // --threads on a single-run command selects the parallel worker count;
+  // silently running serial would misreport what was measured, so it must
+  // be a usage error (exit 2) with both serial engines and by default.
+  for (const char* flags :
+       {" sort --p 8 --k 2 --n 64 --threads 2",
+        " select --p 8 --k 2 --n 64 --engine event --threads 4",
+        " trace --p 4 --engine reference --threads 2"}) {
+    const std::string cmd = std::string(mcbsim_bin()) + flags + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr) << cmd;
+    std::string out;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, got);
+    const int status = pclose(pipe);
+    ASSERT_TRUE(WIFEXITED(status)) << cmd;
+    EXPECT_EQ(WEXITSTATUS(status), 2) << cmd << "\noutput:\n" << out;
+    EXPECT_NE(out.find("--threads requires --engine parallel"),
+              std::string::npos)
+        << cmd << "\noutput:\n" << out;
+  }
 }
 
 // --- run telemetry (--obs / --trace-out / report) ----------------------------

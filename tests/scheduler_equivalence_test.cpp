@@ -1,29 +1,41 @@
-// Golden-stats regression test for the event-driven engine.
+// Golden-stats regression test for the optimized engines.
 //
-// The event-driven scheduler (SimConfig::Engine::kEventDriven) must be
-// observationally identical to the scan-the-world reference loop
-// (kReference, the seed implementation kept as the executable semantics
-// specification): for every algorithm in src/algo/ on a seeded workload
-// grid, both engines must report exactly the same cycles, messages,
-// messages_per_proc, messages_per_channel, peak_aux_words and per-phase
-// stats — and, where checked, the same cycle-by-cycle trace events.
+// The scan-the-world reference loop (SimConfig::Engine::kReference, the
+// seed implementation kept as the executable semantics specification) is
+// the oracle; the event-driven scheduler (kEventDriven) and the striped
+// parallel engine (kParallel, at every thread count in kThreadGrid) must be
+// observationally identical to it: for every algorithm in src/algo/ on a
+// seeded workload grid, all engines must report exactly the same cycles,
+// messages, messages_per_proc, messages_per_channel, peak_aux_words and
+// per-phase stats — and, where checked, the same cycle-by-cycle trace
+// events. Within the parallel family the bar is higher still: the
+// frame-arena telemetry (stripe-sharded, so not comparable to the serial
+// engines' single arena) must itself be independent of the thread count.
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "algo/baselines.hpp"
 #include "algo/collectives.hpp"
 #include "algo/selection.hpp"
 #include "algo/sort.hpp"
+#include "harness/sweep.hpp"
 #include "mcb/network.hpp"
 #include "util/workload.hpp"
 
 namespace mcb {
 namespace {
 
-SimConfig with_engine(SimConfig cfg, Engine e) {
+/// Worker counts the parallel engine is exercised at. 1 covers the
+/// degenerate pool, 8 oversubscribes this container — determinism must not
+/// depend on hardware concurrency.
+constexpr std::size_t kThreadGrid[] = {1, 2, 4, 8};
+
+SimConfig with_engine(SimConfig cfg, Engine e, std::size_t threads = 0) {
   cfg.engine = e;
+  cfg.threads = threads;
   return cfg;
 }
 
@@ -46,13 +58,31 @@ void expect_identical_stats(const RunStats& ref, const RunStats& ev,
   }
 }
 
-/// Runs `go` under both engines and asserts identical accounting.
+/// Runs `go` under all three engines (parallel at every kThreadGrid count)
+/// and asserts identical accounting, with reference as the oracle. The
+/// frame-arena telemetry is additionally pinned across thread counts within
+/// the parallel family (see the file comment for why not across engines).
 void expect_engines_agree(const SimConfig& cfg,
                           const std::function<RunStats(const SimConfig&)>& go,
                           const std::string& label) {
   const RunStats ref = go(with_engine(cfg, Engine::kReference));
   const RunStats ev = go(with_engine(cfg, Engine::kEventDriven));
-  expect_identical_stats(ref, ev, label);
+  expect_identical_stats(ref, ev, label + "/event");
+
+  std::optional<RunStats> first_par;
+  for (const std::size_t t : kThreadGrid) {
+    const RunStats par = go(with_engine(cfg, Engine::kParallel, t));
+    const std::string plabel = label + "/parallel-t" + std::to_string(t);
+    expect_identical_stats(ref, par, plabel);
+    if (!first_par) {
+      first_par = par;
+      continue;
+    }
+    EXPECT_EQ(first_par->frame_allocs, par.frame_allocs) << plabel;
+    EXPECT_EQ(first_par->frame_frees, par.frame_frees) << plabel;
+    EXPECT_EQ(first_par->arena_bytes_peak, par.arena_bytes_peak) << plabel;
+    EXPECT_EQ(first_par->arena_hit_rate, par.arena_hit_rate) << plabel;
+  }
 }
 
 TEST(SchedulerEquivalence, EveryExplicitSortAlgorithm) {
@@ -158,31 +188,73 @@ TEST(SchedulerEquivalence, MultiReadExtension) {
 
 TEST(SchedulerEquivalence, TraceStreamsIdentical) {
   // Strongest form of "observationally identical": the cycle-by-cycle event
-  // streams seen by a TraceSink must match, not just the aggregates.
+  // streams seen by a TraceSink must match, not just the aggregates. The
+  // parallel engine emits its events from the merge step at the cycle
+  // barrier, so the stream must come out in processor-id order regardless
+  // of which worker simulated which stripe.
   const auto w = util::make_workload(256, 16, util::Shape::kEven, 2);
-  auto run_traced = [&](Engine e, ChannelTrace& trace) {
-    return algo::sort(with_engine({.p = 16, .k = 4}, e), w.inputs,
+  auto run_traced = [&](Engine e, std::size_t threads, ChannelTrace& trace) {
+    return algo::sort(with_engine({.p = 16, .k = 4}, e, threads), w.inputs,
                       {.algorithm = algo::SortAlgorithm::kColumnsortEven},
                       &trace)
         .run.stats;
   };
-  ChannelTrace ref_trace(1u << 20), ev_trace(1u << 20);
-  const RunStats ref = run_traced(Engine::kReference, ref_trace);
-  const RunStats ev = run_traced(Engine::kEventDriven, ev_trace);
-  expect_identical_stats(ref, ev, "traced columnsort");
-
+  ChannelTrace ref_trace(1u << 20);
+  const RunStats ref = run_traced(Engine::kReference, 0, ref_trace);
   ASSERT_FALSE(ref_trace.truncated());
-  ASSERT_FALSE(ev_trace.truncated());
   const auto& a = ref_trace.events();
-  const auto& b = ev_trace.events();
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].cycle, b[i].cycle) << "event " << i;
-    EXPECT_EQ(a[i].proc, b[i].proc) << "event " << i;
-    EXPECT_EQ(a[i].wrote, b[i].wrote) << "event " << i;
-    EXPECT_EQ(a[i].sent, b[i].sent) << "event " << i;
-    EXPECT_EQ(a[i].read, b[i].read) << "event " << i;
-    EXPECT_EQ(a[i].received, b[i].received) << "event " << i;
+
+  auto expect_same_stream = [&](Engine e, std::size_t threads,
+                                const std::string& label) {
+    ChannelTrace trace(1u << 20);
+    const RunStats got = run_traced(e, threads, trace);
+    expect_identical_stats(ref, got, "traced columnsort/" + label);
+    ASSERT_FALSE(trace.truncated());
+    const auto& b = trace.events();
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].cycle, b[i].cycle) << label << " event " << i;
+      EXPECT_EQ(a[i].proc, b[i].proc) << label << " event " << i;
+      EXPECT_EQ(a[i].wrote, b[i].wrote) << label << " event " << i;
+      EXPECT_EQ(a[i].sent, b[i].sent) << label << " event " << i;
+      EXPECT_EQ(a[i].read, b[i].read) << label << " event " << i;
+      EXPECT_EQ(a[i].received, b[i].received) << label << " event " << i;
+    }
+  };
+  expect_same_stream(Engine::kEventDriven, 0, "event");
+  for (const std::size_t t : kThreadGrid) {
+    expect_same_stream(Engine::kParallel, t, "parallel-t" + std::to_string(t));
+  }
+}
+
+TEST(SchedulerEquivalence, SweepJsonStableUnderParallelEngine) {
+  // End-to-end determinism: a sweep run on the parallel engine serializes
+  // byte-identically regardless of the trial pool's width, and its model
+  // accounting (cycles/messages/aux) matches the event engine's trial for
+  // trial. (Full JSON identity across engines is not expected: the frame
+  // telemetry in the JSON is arena-sharding-specific.)
+  harness::Sweep sweep;
+  sweep.ps = {8, 16};
+  sweep.ks = {2, 4};
+  sweep.ns = {256};
+  sweep.algorithms = {"auto", "select"};
+  sweep.seeds = 2;
+  sweep.engine = Engine::kParallel;
+
+  const auto one = harness::run_sweep(sweep, {.threads = 1});
+  const auto four = harness::run_sweep(sweep, {.threads = 4});
+  EXPECT_EQ(harness::sweep_json(one), harness::sweep_json(four));
+
+  sweep.engine = Engine::kEventDriven;
+  const auto ev = harness::run_sweep(sweep, {.threads = 2});
+  ASSERT_EQ(ev.results.size(), one.results.size());
+  for (std::size_t i = 0; i < ev.results.size(); ++i) {
+    EXPECT_EQ(ev.results[i].cycles, one.results[i].cycles) << "trial " << i;
+    EXPECT_EQ(ev.results[i].messages, one.results[i].messages)
+        << "trial " << i;
+    EXPECT_EQ(ev.results[i].peak_aux_words, one.results[i].peak_aux_words)
+        << "trial " << i;
+    EXPECT_EQ(ev.results[i].error, one.results[i].error) << "trial " << i;
   }
 }
 

@@ -1,17 +1,22 @@
 // mcbsim — command-line driver for the MCB library.
 //
 //   mcbsim sort    --p 16 --k 4 --n 1024 [--shape even] [--seed 1]
-//                  [--algorithm auto] [--engine event|reference] [--json]
+//                  [--algorithm auto] [--engine event|reference|parallel]
+//                  [--threads N] [--json]
 //   mcbsim select  --p 16 --k 4 --n 1024 [--rank d | median by default]
-//                  [--shape even] [--seed 1] [--engine event|reference]
-//                  [--json]
+//                  [--shape even] [--seed 1]
+//                  [--engine event|reference|parallel] [--threads N] [--json]
 //   mcbsim psum    --p 16 --k 4 [--op add|max|min]
 //   mcbsim trace   --p 4  [--n 48] [--seed 3]   (cycle-level channel dump)
 //   mcbsim bounds  --p 16 --k 4 --n 1024 [--shape even] [--d rank]
 //   mcbsim sweep   --p 8,16 --k 2,4 --n 1024 [--shapes even,zipf]
 //                  [--algorithms auto,select] [--seeds 3] [--seed 1]
-//                  [--threads N] [--engine event|reference] [--check]
-//                  [--json]
+//                  [--threads N] [--engine event|reference|parallel]
+//                  [--check] [--json]
+//
+// For sort/select/trace, --threads N sets the parallel engine's worker count
+// (0 = all hardware threads) and requires --engine parallel. For sweep,
+// --threads is the trial-pool width and works with any engine.
 //   mcbsim gates   <bench.json>   (scan a BENCH_*.json for gate results)
 //   mcbsim report  <run.json|sweep.json>   (deterministic Markdown report)
 //
@@ -236,15 +241,33 @@ std::vector<std::size_t> input_sizes(
   return sizes;
 }
 
-/// Shared --engine flag (sort/select/trace/sweep): both engines expose the
+/// Shared --engine flag (sort/select/trace/sweep): all engines expose the
 /// same observable behaviour, so every run — checked ones in particular —
-/// can be replayed on either.
+/// can be replayed on any of them.
 Engine parse_engine(const util::Cli& cli) {
   const auto engine = cli.get_string("engine", "event");
   if (engine == "reference") return Engine::kReference;
   if (engine == "event") return Engine::kEventDriven;
+  if (engine == "parallel") return Engine::kParallel;
   throw std::invalid_argument("unknown engine '" + engine +
-                              "' (event|reference)");
+                              "' (event|reference|parallel)");
+}
+
+/// Shared --engine/--threads pair for the single-run commands
+/// (sort/select/trace). --threads picks the parallel engine's worker count
+/// (0 = hardware) and is rejected with the serial engines — a silent fall
+/// back to serial would misreport what was measured. (sweep has its own
+/// --threads: the trial-pool width; parallel-engine trials there are
+/// single-threaded, see harness::run_trial.)
+void apply_engine_flags(const util::Cli& cli, SimConfig& cfg) {
+  cfg.engine = parse_engine(cli);
+  const auto threads = cli.get_uint("threads", 0);
+  if (threads != 0 && cfg.engine != Engine::kParallel) {
+    throw std::invalid_argument(
+        "--threads requires --engine parallel (the serial engines run on "
+        "one thread)");
+  }
+  cfg.threads = threads;
 }
 
 int cmd_sort(const util::Cli& cli) {
@@ -261,7 +284,8 @@ int cmd_sort(const util::Cli& cli) {
   const auto obs_opts = parse_obs(cli);
 
   auto w = util::make_workload(n, p, shape, seed);
-  SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  SimConfig cfg{.p = p, .k = k};
+  apply_engine_flags(cli, cfg);
   obs::Recorder recorder;
   std::optional<obs::Timeline> timeline;
   if (obs_opts.on) {
@@ -337,7 +361,8 @@ int cmd_select(const util::Cli& cli) {
     }
     return 0;
   }
-  SimConfig cfg{.p = p, .k = k, .engine = parse_engine(cli)};
+  SimConfig cfg{.p = p, .k = k};
+  apply_engine_flags(cli, cfg);
   obs::Recorder recorder;
   std::optional<obs::Timeline> timeline;
   if (obs_opts.on) {
@@ -419,7 +444,8 @@ int cmd_trace(const util::Cli& cli) {
   const auto obs_opts = parse_obs(cli);
   ChannelTrace trace(cli.get_uint("limit", 256));
   auto w = util::make_workload(n, p, util::Shape::kEven, seed);
-  SimConfig cfg{.p = p, .k = p, .engine = parse_engine(cli)};
+  SimConfig cfg{.p = p, .k = p};
+  apply_engine_flags(cli, cfg);
   obs::Recorder recorder;
   std::optional<obs::Timeline> timeline;
   if (obs_opts.on) {
@@ -644,23 +670,27 @@ int usage() {
       "usage: mcbsim <sort|select|psum|trace|bounds|sweep|gates|report>"
       " [--flags]\n"
       "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--engine]"
-      " [--check] [--json]\n"
+      " [--threads] [--check] [--json]\n"
       "          [--obs] [--trace-out f.json] [--obs-buckets N]\n"
       "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo]"
-      " [--engine] [--check] [--json]\n"
-      "          [--obs] [--trace-out f.json] [--obs-buckets N]\n"
+      " [--engine] [--threads] [--check]\n"
+      "          [--json] [--obs] [--trace-out f.json] [--obs-buckets N]\n"
       "  psum    --p --k [--op add|max|min]\n"
-      "  trace   --p [--n] [--seed] [--limit] [--engine] [--check]"
-      " [--obs] [--trace-out f.json]\n"
+      "  trace   --p [--n] [--seed] [--limit] [--engine] [--threads]"
+      " [--check] [--obs] [--trace-out f.json]\n"
       "  bounds  --p --k --n [--shape] [--d]\n"
       "  sweep   --p 8,16 --k 2,4 --n 1024,4096 [--shapes even,zipf]\n"
       "          [--algorithms auto,select] [--seeds S] [--seed B]\n"
-      "          [--threads N] [--engine event|reference] [--check] [--obs] "
-      "[--json]\n"
+      "          [--threads N] [--engine event|reference|parallel] [--check]"
+      " [--obs] [--json]\n"
       "  gates   <bench.json>   exit 0 = all gates enforced+passed,\n"
       "          1 = enforced gate failed, 3 = unenforced gates present\n"
       "  report  <run.json|sweep.json>   render a deterministic Markdown\n"
       "          report (phases, spans, channel sparklines, theory ratios)\n"
+      "--engine picks the simulator loop (event|reference|parallel; all are\n"
+      "observably identical). For sort/select/trace, --threads N sets the\n"
+      "parallel engine's worker count (0 = hardware) and requires --engine\n"
+      "parallel; for sweep it is the trial-pool width with any engine.\n"
       "--check attaches the model-conformance checker (src/check): exit 1\n"
       "and a violation report on any model-rule breach.\n"
       "--obs collects phase spans and a per-channel timeline; --trace-out\n"
