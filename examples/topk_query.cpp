@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "mcb/mcb.hpp"
+#include "serve/query.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -30,8 +31,11 @@ int main() {
   util::Table t;
   t.header({"quantile", "rank d", "value", "cycles", "messages"});
   for (const auto& q : queries) {
-    auto d = static_cast<std::size_t>(double(n) * q.fraction);
-    if (d == 0) d = 1;
+    // Nearest-rank with the ceil convention (serve::quantile_rank, same as
+    // obs::Histogram::quantile): d = max(1, ceil(n * fraction)). Truncating
+    // instead would answer rank 1638 for p90 over n=16384 — one element off
+    // whenever n * fraction is not integral.
+    const auto d = serve::quantile_rank(n, q.fraction);
     const auto res = algo::select_rank(cfg, workload.inputs, d);
     t.row({util::Table::txt(q.name),
            util::Table::num(d),

@@ -83,14 +83,9 @@ double mean_ratio(const std::vector<double>& measured,
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
-/// Deterministic double rendering for the sweep JSON (shortest-roundtrip
-/// formatting is locale-independent and identical for identical values).
-std::string fmt(double v) {
-  std::ostringstream os;
-  os.precision(12);
-  os << v;
-  return os.str();
-}
+/// Deterministic double rendering for the sweep JSON (identical for
+/// identical values, and "0" for non-finite ones, which JSON cannot carry).
+std::string fmt(double v) { return util::json_double(v); }
 
 void summary_json(std::ostream& os, const char* name, const Summary& s) {
   os << '"' << name << "\": {\"min\": " << fmt(s.min)

@@ -225,11 +225,28 @@ void Network::emit_event(ProcId i) {
 }
 
 RunStats Network::run() {
-  MCB_REQUIRE(!ran_, "Network::run() is single-shot");
+  MCB_REQUIRE(!ran_, "Network::run() is single-shot — reset() re-arms it");
   MCB_REQUIRE(std::all_of(installed_.begin(), installed_.end(),
                           [](bool b) { return b; }),
               "every processor needs a program before run()");
   ran_ = true;
+
+  // Snapshot the arena counters so the run telemetry below reports this
+  // run's deltas. On a fresh network every counter is zero and this is a
+  // no-op; on a reset network the arenas carry the previous runs' monotonic
+  // totals (and, more usefully, their warm free lists).
+  arena_base_ = util::ArenaStats{};
+  if (mode_ == Engine::kParallel) {
+    for (const auto& s : stripes_) {
+      const util::ArenaStats& as = s->arena.stats();
+      arena_base_.allocs += as.allocs;
+      arena_base_.frees += as.frees;
+      arena_base_.reuses += as.reuses;
+      arena_base_.slab_allocs += as.slab_allocs;
+    }
+  } else {
+    arena_base_ = arena_.stats();
+  }
 
   const bool parallel = mode_ == Engine::kParallel;
 
@@ -306,30 +323,89 @@ RunStats Network::run() {
   // parallel engine reduces its stripe arenas by sum — stripes are a
   // function of p alone, so the totals are thread-count independent
   // (bytes_peak is the sum of per-stripe peaks, not a global peak).
+  //
+  // All counts are deltas against the start-of-run snapshot, so a run on a
+  // reset network reports the same frame_allocs/frees a fresh network would
+  // — what changes on reuse is frame_reuses and the hit rate, which is the
+  // point. bytes_peak stays the raw monotonic peak: live bytes return to
+  // zero between runs (every frame is freed), so later runs' peaks match a
+  // fresh network's and the value is reset-invariant anyway.
+  std::uint64_t allocs = 0, frees = 0, reuses = 0, peak = 0, slabs = 0;
   if (parallel) {
-    std::uint64_t allocs = 0, frees = 0, peak = 0, slabs = 0;
     for (const auto& s : stripes_) {
       const util::ArenaStats& as = s->arena.stats();
       allocs += as.allocs;
       frees += as.frees;
+      reuses += as.reuses;
       peak += as.bytes_peak;
       slabs += as.slab_allocs;
     }
-    stats_.frame_allocs = allocs;
-    stats_.frame_frees = frees;
-    stats_.arena_bytes_peak = peak;
-    stats_.arena_hit_rate =
-        allocs == 0 ? 0.0
-                    : static_cast<double>(allocs - slabs) /
-                          static_cast<double>(allocs);
   } else {
     const util::ArenaStats& as = arena_.stats();
-    stats_.frame_allocs = as.allocs;
-    stats_.frame_frees = as.frees;
-    stats_.arena_bytes_peak = as.bytes_peak;
-    stats_.arena_hit_rate = as.hit_rate();
+    allocs = as.allocs;
+    frees = as.frees;
+    reuses = as.reuses;
+    peak = as.bytes_peak;
+    slabs = as.slab_allocs;
   }
+  allocs -= arena_base_.allocs;
+  frees -= arena_base_.frees;
+  reuses -= arena_base_.reuses;
+  slabs -= arena_base_.slab_allocs;
+  stats_.frame_allocs = allocs;
+  stats_.frame_frees = frees;
+  stats_.frame_reuses = reuses;
+  stats_.arena_bytes_peak = peak;
+  stats_.arena_hit_rate =
+      allocs == 0 ? 0.0
+                  : static_cast<double>(allocs - slabs) /
+                        static_cast<double>(allocs);
   return stats_;
+}
+
+void Network::reset() {
+  // Destroy the program objects first: destroying a suspended coroutine
+  // frame releases it (and any in-scope Task frames it holds) back to the
+  // owning arena through the allocation headers, so the free lists are warm
+  // for the next install round. Only then null the table's handles.
+  programs_.clear();
+  tab_.reset();
+  std::fill(installed_.begin(), installed_.end(), false);
+
+  for (auto& f : slot_written_) f.store(0, std::memory_order_relaxed);
+  std::fill(slot_writer_.begin(), slot_writer_.end(), ProcId{0});
+  // slot_msg_ entries are dead once the written flags are clear — every
+  // read consults the flag first — so the payloads need no scrubbing.
+
+  sched_.reset();
+  now_ = 0;
+  alive_ = 0;
+  ran_ = false;
+
+  stats_ = RunStats{};
+  stats_.messages_per_proc.assign(cfg_.p, 0);
+  stats_.messages_per_channel.assign(cfg_.k, 0);
+  phase_name_.clear();
+  phase_start_cycle_ = 0;
+  phase_start_messages_ = 0;
+
+  // Parallel-engine scratch. The stripe buffers are normally drained at the
+  // barrier, but a run aborted by a thrown error can leave residue.
+  pool_ = nullptr;
+  segments_.clear();
+  segment_ids_ = nullptr;
+  collision_flag_.store(0, std::memory_order_relaxed);
+  pending_error_ = nullptr;
+  for (auto& s : stripes_) {
+    s->wakes.clear();
+    s->active.clear();
+    s->dirty.clear();
+    s->msgs = 0;
+    s->resumes = 0;
+    s->completions = 0;
+    s->error = nullptr;
+  }
+  arena_base_ = util::ArenaStats{};
 }
 
 // The event-driven engine. Observationally identical to the reference loop

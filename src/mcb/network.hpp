@@ -82,8 +82,22 @@ class Network {
 
   /// Runs to quiescence (all programs complete) and returns the statistics.
   /// Throws CollisionError / ProtocolError on model violations, and
-  /// propagates any exception escaping a processor program. Single-shot.
+  /// propagates any exception escaping a processor program. Single-shot per
+  /// install round: reset() re-arms the network for another one.
   RunStats run();
+
+  /// Returns the network to its pre-install state so a new set of programs
+  /// can be installed and run on the same allocation: processor contexts,
+  /// channel-slot arrays, scheduler tiers and — crucially for the serving
+  /// layer — the warmed coroutine-frame arenas all survive, so repeated
+  /// runs skip both the setup allocations and most slab acquisitions
+  /// (RunStats::frame_reuses shows the free-list hits). Model-observable
+  /// state is cleared completely: a run after reset() is byte-identical —
+  /// stats, traces, conformance streams — to the same run on a fresh
+  /// network (tests/reset_test.cpp holds every engine to that). Safe after
+  /// a failed run too: suspended programs are destroyed and their frames
+  /// recycled. Must not be called from inside a processor program.
+  void reset();
 
   /// Completed cycles (valid during a run; queried by Proc::now()).
   Cycle now() const { return now_; }
@@ -187,6 +201,12 @@ class Network {
   std::string phase_name_;
   Cycle phase_start_cycle_ = 0;
   std::uint64_t phase_start_messages_ = 0;
+
+  // Arena counters (summed over stripes under kParallel) at the start of the
+  // current run, so the per-run telemetry reports this run's deltas even on
+  // a reset network whose arenas carry warm free lists from earlier runs.
+  // Zero for a fresh network, keeping first-run telemetry unchanged.
+  util::ArenaStats arena_base_;
 };
 
 }  // namespace mcb

@@ -13,6 +13,7 @@
 // this table through the owning network.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -64,6 +65,24 @@ struct ProcTable {
     read_result.resize(p);
     read_all_results.resize(p);
     peak_aux_words.assign(p, 0);
+  }
+
+  /// Returns every column to its post-resize state without shrinking any
+  /// allocation (Network::reset). Handles are nulled, not destroyed — the
+  /// Network owns the program objects and clears them first.
+  void reset() {
+    std::fill(resume_point.begin(), resume_point.end(),
+              std::coroutine_handle<>{});
+    std::fill(program.begin(), program.end(), ProcMain::handle_type{});
+    std::fill(wake_cycle.begin(), wake_cycle.end(), Cycle{0});
+    std::fill(done.begin(), done.end(), std::uint8_t{0});
+    for (auto& w : pending_write) w.reset();
+    for (auto& r : pending_read) r.reset();
+    std::fill(pending_read_all.begin(), pending_read_all.end(),
+              std::uint8_t{0});
+    for (auto& r : read_result) r.reset();
+    for (auto& v : read_all_results) v.clear();
+    std::fill(peak_aux_words.begin(), peak_aux_words.end(), std::size_t{0});
   }
 };
 

@@ -27,6 +27,17 @@ Scheduler::Scheduler(std::size_t p, std::size_t k) {
   dirty_.reserve(k);
 }
 
+void Scheduler::reset() {
+  next_bucket_.clear();
+  for (auto& bucket : wheel_) bucket.clear();
+  wheel_count_ = 0;
+  spill_.clear();
+  pending_ = 0;
+  drain_entries_.clear();
+  active_.clear();
+  dirty_.clear();
+}
+
 void Scheduler::push_spill(ProcId id, Cycle wake) {
   spill_.push_back(SpillEntry{wake, id});
   std::push_heap(spill_.begin(), spill_.end(), SpillLater{});

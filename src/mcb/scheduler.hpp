@@ -61,6 +61,11 @@ class Scheduler {
  public:
   Scheduler(std::size_t p, std::size_t k);
 
+  /// Empties every tier plus the active and dirty lists, keeping all vector
+  /// capacities, so a long-lived network (Network::reset) re-runs without
+  /// re-growing the queue structures.
+  void reset();
+
   // --- wake queue ---------------------------------------------------------
 
   /// Registers processor `id` (suspended at cycle `now`) to be resumed at

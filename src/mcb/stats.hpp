@@ -44,6 +44,7 @@ struct RunStats {
   // this run's protocol code. All zero under MCB_FRAME_ARENA=OFF.
   std::uint64_t frame_allocs = 0;      ///< frames served by the arena
   std::uint64_t frame_frees = 0;       ///< frames recycled into the arena
+  std::uint64_t frame_reuses = 0;      ///< allocs served from a free list
   std::uint64_t arena_bytes_peak = 0;  ///< peak live frame bytes
   double arena_hit_rate = 0.0;         ///< free-list reuse fraction [0, 1]
 

@@ -32,4 +32,11 @@ class Timeline;
 std::string chrome_trace_json(const RunStats& stats, const SimConfig& cfg,
                               const Recorder* spans, const Timeline* timeline);
 
+/// One RunStats as a JSON object — the "stats" member of `mcbsim
+/// sort/select --json` and of the serving report. Strict RFC 8259: the
+/// double fields (cycles_per_sec, arena_hit_rate) go through
+/// util::json_double, so a non-finite value renders as 0 rather than an
+/// unparseable bare `nan`/`inf` token.
+std::string run_stats_json(const RunStats& stats);
+
 }  // namespace mcb::obs

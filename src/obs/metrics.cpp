@@ -13,29 +13,30 @@ namespace mcb::obs {
 
 namespace {
 
-/// Deterministic double rendering (mirrors harness::sweep_json's fmt).
-std::string fmt(double v) {
-  std::ostringstream os;
-  os.precision(12);
-  os << v;
-  return os.str();
-}
+/// Deterministic double rendering (mirrors harness::sweep_json's fmt),
+/// guarded for JSON embedding: NaN/Inf have no JSON literal, so non-finite
+/// values render as 0 (util::json_double).
+std::string fmt(double v) { return util::json_double(v); }
 
 }  // namespace
 
 double Histogram::quantile(double q) const {
-  if (values.empty()) return 0.0;
-  std::vector<double> sorted = values;
-  std::sort(sorted.begin(), sorted.end());
-  const auto count = static_cast<double>(sorted.size());
+  if (values_.empty()) return 0.0;
+  if (dirty_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+    ++sort_passes_;
+  }
+  const auto count = static_cast<double>(sorted_.size());
   auto rank = static_cast<std::size_t>(std::ceil(q * count));
   if (rank == 0) rank = 1;
-  return sorted[rank - 1];
+  return sorted_[rank - 1];
 }
 
 double Histogram::max() const {
-  if (values.empty()) return 0.0;
-  return *std::max_element(values.begin(), values.end());
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
 }
 
 void Metrics::add(const std::string& name, std::uint64_t delta) {

@@ -24,16 +24,36 @@ class Recorder;
 class Timeline;
 
 /// Exact-quantile histogram (nearest-rank, matching harness::summarize).
-struct Histogram {
-  std::vector<double> values;
-
-  void record(double v) { values.push_back(v); }
-  std::uint64_t count() const { return values.size(); }
+/// Quantile queries sort once and serve every subsequent query from the
+/// cached order until the next record() — the serving layer records one
+/// sample per query and renders several quantiles per report, which the
+/// old copy-and-sort-per-call behaviour made quadratic.
+class Histogram {
+ public:
+  void record(double v) {
+    values_.push_back(v);
+    dirty_ = true;
+  }
+  std::uint64_t count() const { return values_.size(); }
   double p50() const { return quantile(0.50); }
   double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
   double max() const;
   /// Nearest-rank quantile: ceil(q * count)-th smallest; 0 when empty.
   double quantile(double q) const;
+  /// Samples in record order (exporters that need the raw series).
+  const std::vector<double>& values() const { return values_; }
+  /// Times the cache actually sorted — telemetry for the sort-once
+  /// contract (tests assert it stays at 1 across repeated quantiles).
+  std::uint64_t sort_passes() const { return sort_passes_; }
+
+ private:
+  std::vector<double> values_;
+  // Cache shared by the const quantile accessors, rebuilt only after new
+  // samples arrive.
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+  mutable std::uint64_t sort_passes_ = 0;
 };
 
 class Metrics {

@@ -1,0 +1,259 @@
+#include "serve/server.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "algo/multi_select.hpp"
+#include "mcb/network.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace mcb::serve {
+
+namespace {
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kRankSelect: return "rank";
+    case OpKind::kTopK: return "topk";
+    case OpKind::kChurn: return "churn";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ServeReport run_server(const ServeConfig& cfg) {
+  ServeConfig c = cfg;
+  if (c.classes.empty()) c.classes = parse_classes("rank:4,topk:2,churn:1");
+  c.sim.validate();
+  MCB_REQUIRE(c.n >= c.sim.p && c.n % c.sim.p == 0,
+              "dataset n=" << c.n << " must be a positive multiple of p="
+                           << c.sim.p);
+  MCB_REQUIRE(c.batch >= 1, "batch must be at least 1");
+
+  Dataset data(c.n, c.sim.p, c.seed);
+  QueryStream stream(c.classes, c.seed);
+
+  // THE long-lived network: constructed once, reset between batches. Every
+  // batch re-installs programs into the same ProcTable/slot allocation and
+  // reuses the warmed frame arenas.
+  Network net(c.sim, nullptr);
+  bool first_run = true;
+
+  ServeReport rep;
+  rep.cfg = c;
+
+  struct Pending {
+    std::size_t index;
+    std::size_t cls;
+    OpKind kind;
+    std::size_t rank;
+  };
+  std::vector<Pending> pending;
+
+  auto flush = [&]() {
+    if (pending.empty()) return;
+    if (!first_run) net.reset();
+    first_run = false;
+    std::vector<std::size_t> ds;
+    ds.reserve(pending.size());
+    for (const Pending& pq : pending) ds.push_back(pq.rank);
+    const auto res = algo::select_ranks_on(net, data.shards(), ds);
+    ++rep.batches;
+    rep.total_cycles += res.stats.cycles;
+    rep.total_messages += res.stats.messages;
+    rep.filter_phases += res.filter_phases;
+    rep.frame_allocs += res.stats.frame_allocs;
+    rep.frame_reuses += res.stats.frame_reuses;
+    rep.metrics.observe("serve.batch_size",
+                        static_cast<double>(pending.size()));
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const Pending& pq = pending[i];
+      QueryRecord r;
+      r.index = pq.index;
+      r.cls = pq.cls;
+      r.kind = pq.kind;
+      r.rank = pq.rank;
+      r.value = res.values[i];
+      r.batch_id = rep.batches;
+      r.latency_cycles = res.stats.cycles;
+      if (c.verify) {
+        const Word want = data.nth_largest(pq.rank);
+        MCB_CHECK(r.value == want, "query " << pq.index << " rank " << pq.rank
+                                            << ": got " << r.value
+                                            << ", ground truth " << want);
+      }
+      rep.metrics.observe(
+          "class." + c.classes[pq.cls].name + ".latency_cycles",
+          static_cast<double>(res.stats.cycles));
+      rep.queries.push_back(r);
+    }
+    pending.clear();
+  };
+
+  for (std::size_t qi = 0; qi < c.queries; ++qi) {
+    const Query q = stream.next();
+    rep.metrics.add("class." + c.classes[q.cls].name + ".ops", 1);
+    if (q.kind == OpKind::kChurn) {
+      // Churn is a barrier: answer everything admitted before it first, so
+      // every batch runs against one consistent dataset snapshot.
+      flush();
+      data.churn();
+      ++rep.churn_ops;
+      QueryRecord r;
+      r.index = qi;
+      r.cls = q.cls;
+      r.kind = q.kind;
+      rep.queries.push_back(r);
+      continue;
+    }
+    Pending pq;
+    pq.index = qi;
+    pq.cls = q.cls;
+    pq.kind = q.kind;
+    // Ranks resolve against the dataset size at admission time; the churn
+    // barrier above guarantees that size is still current when the batch
+    // runs.
+    pq.rank = q.kind == OpKind::kRankSelect
+                  ? quantile_rank(data.size(), q.fraction)
+                  : std::min(q.top_m, data.size());
+    pending.push_back(pq);
+    if (pending.size() >= c.batch) flush();
+  }
+  flush();
+
+  std::size_t answered = 0;
+  for (const auto& r : rep.queries) {
+    if (r.kind != OpKind::kChurn) ++answered;
+  }
+  rep.metrics.add("serve.queries", c.queries);
+  rep.metrics.add("serve.answered", answered);
+  rep.metrics.add("serve.batches", rep.batches);
+  rep.metrics.add("serve.churn_ops", rep.churn_ops);
+  rep.metrics.add("serve.total_cycles", rep.total_cycles);
+  rep.metrics.add("serve.total_messages", rep.total_messages);
+  rep.metrics.set("serve.cycles_per_query",
+                  answered == 0 ? 0.0
+                                : static_cast<double>(rep.total_cycles) /
+                                      static_cast<double>(answered));
+  rep.metrics.set("serve.queries_per_kcycle",
+                  rep.total_cycles == 0
+                      ? 0.0
+                      : 1000.0 * static_cast<double>(answered) /
+                            static_cast<double>(rep.total_cycles));
+  return rep;
+}
+
+std::string ServeReport::json() const {
+  // Model-level fields only: no wall clock, no arena counters, no engine
+  // or thread identity — the document must be byte-identical for one seed
+  // whichever engine answered it (tools/ci.sh cmp's exactly this).
+  std::ostringstream os;
+  os << "{\"config\":{\"p\":" << cfg.sim.p << ",\"k\":" << cfg.sim.k
+     << ",\"n\":" << cfg.n << ",\"seed\":" << cfg.seed
+     << ",\"queries\":" << cfg.queries << ",\"batch\":" << cfg.batch
+     << ",\"classes\":[";
+  for (std::size_t i = 0; i < cfg.classes.size(); ++i) {
+    const auto& cl = cfg.classes[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << util::json_escape(cl.name)
+       << "\",\"weight\":" << cl.weight << '}';
+  }
+  os << "]},\"batches\":" << batches << ",\"total_cycles\":" << total_cycles
+     << ",\"total_messages\":" << total_messages
+     << ",\"churn_ops\":" << churn_ops
+     << ",\"filter_phases\":" << filter_phases;
+
+  const auto* cpq = "serve.cycles_per_query";
+  const auto* qpk = "serve.queries_per_kcycle";
+  os << ",\"cycles_per_query\":"
+     << util::json_double(metrics.gauges().count(cpq) != 0
+                              ? metrics.gauges().at(cpq)
+                              : 0.0)
+     << ",\"queries_per_kcycle\":"
+     << util::json_double(metrics.gauges().count(qpk) != 0
+                              ? metrics.gauges().at(qpk)
+                              : 0.0);
+
+  os << ",\"classes\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < cfg.classes.size(); ++i) {
+    const auto& cl = cfg.classes[i];
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << util::json_escape(cl.name)
+       << "\",\"ops\":" << metrics.counter("class." + cl.name + ".ops");
+    const auto& hists = metrics.histograms();
+    const auto it = hists.find("class." + cl.name + ".latency_cycles");
+    if (it != hists.end()) {
+      const auto& h = it->second;
+      os << ",\"latency_cycles\":{\"count\":" << h.count()
+         << ",\"p50\":" << util::json_double(h.p50())
+         << ",\"p95\":" << util::json_double(h.p95())
+         << ",\"p99\":" << util::json_double(h.p99())
+         << ",\"max\":" << util::json_double(h.max()) << '}';
+    }
+    os << '}';
+  }
+  os << "],\"queries\":[";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& r = queries[i];
+    if (i) os << ',';
+    os << "{\"i\":" << r.index << ",\"class\":\""
+       << util::json_escape(cfg.classes[r.cls].name) << "\",\"kind\":\""
+       << kind_name(r.kind) << '"';
+    if (r.kind != OpKind::kChurn) {
+      os << ",\"rank\":" << r.rank << ",\"value\":" << r.value
+         << ",\"batch\":" << r.batch_id
+         << ",\"latency_cycles\":" << r.latency_cycles;
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ServeReport::markdown() const {
+  std::ostringstream os;
+  os << "# Serving report\n\n"
+     << "MCB(" << cfg.sim.p << "," << cfg.sim.k << "), resident n=" << cfg.n
+     << ", seed=" << cfg.seed << ", " << cfg.queries
+     << " queries, batch<=" << cfg.batch << "\n\n"
+     << "- batches (selection runs): " << batches << "\n"
+     << "- total simulated cycles:   " << total_cycles << "\n"
+     << "- total messages:           " << total_messages << "\n"
+     << "- filtering phases:         " << filter_phases << "\n"
+     << "- churn ops (barriers):     " << churn_ops << "\n\n";
+  os << "| class | ops | answered | p50 | p95 | p99 | max cycles |\n"
+     << "|---|---|---|---|---|---|---|\n";
+  for (const auto& cl : cfg.classes) {
+    const auto ops = metrics.counter("class." + cl.name + ".ops");
+    const auto& hists = metrics.histograms();
+    const auto it = hists.find("class." + cl.name + ".latency_cycles");
+    os << "| " << cl.name << " | " << ops << " | ";
+    if (it != hists.end()) {
+      const auto& h = it->second;
+      os << h.count() << " | " << util::json_double(h.p50()) << " | "
+         << util::json_double(h.p95()) << " | " << util::json_double(h.p99())
+         << " | " << util::json_double(h.max());
+    } else {
+      os << "0 | - | - | - | -";
+    }
+    os << " |\n";
+  }
+  const auto* cpq = "serve.cycles_per_query";
+  const auto* qpk = "serve.queries_per_kcycle";
+  os << "\n- cycles/query:      "
+     << util::json_double(metrics.gauges().count(cpq) != 0
+                              ? metrics.gauges().at(cpq)
+                              : 0.0)
+     << "\n- queries/kcycle:    "
+     << util::json_double(metrics.gauges().count(qpk) != 0
+                              ? metrics.gauges().at(qpk)
+                              : 0.0)
+     << '\n';
+  return os.str();
+}
+
+}  // namespace mcb::serve

@@ -1,0 +1,90 @@
+// serve::Server — a long-lived network answering a query stream.
+//
+// The single-shot callers (mcbsim select, examples/topk_query.cpp) pay the
+// full Network construction and coroutine-frame cold start per question.
+// The server keeps ONE Network alive for the whole session: every batch
+// re-installs programs into the same ProcTable/channel-slot allocation via
+// Network::reset(), and the frame arenas stay warm, so steady-state batches
+// allocate almost nothing (RunStats::frame_reuses / arena_hit_rate in the
+// report show it).
+//
+// Admission/batching policy: rank_select and top_k queries are both "give
+// me the d-th largest" questions, so up to `batch` of them coalesce into
+// one multi-rank selection run (algo::select_ranks_on — the Nowicki-style
+// batched filter). A churn op is a write barrier: the pending batch
+// flushes first, then the mutation applies host-side (zero simulated
+// cycles — resident-set maintenance is local bookkeeping, not broadcast
+// traffic). The stream ends with a final flush.
+//
+// Latency accounting: a query's simulated-cycle latency is the cycles of
+// the batch run that answered it — every member of a batch waits for the
+// whole run, exactly like requests coalesced behind one scan. Per-class
+// obs::Histograms aggregate p50/p95/p99; throughput is queries per 1000
+// simulated cycles. The report carries only model-level quantities
+// (cycles, messages, values, phases), so it is byte-identical across
+// engines and thread counts for a fixed seed — `tools/ci.sh` cmp's it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcb/sim_config.hpp"
+#include "obs/metrics.hpp"
+#include "serve/query.hpp"
+
+namespace mcb::serve {
+
+struct ServeConfig {
+  SimConfig sim;                  ///< p, k, engine, threads
+  std::size_t n = 4096;           ///< resident dataset size (p | n)
+  std::uint64_t seed = 1;         ///< dataset + stream seed
+  std::size_t queries = 64;       ///< stream length
+  std::size_t batch = 8;          ///< max rank queries coalesced per run
+  std::vector<ClassSpec> classes;  ///< empty = "rank:4,topk:2,churn:1"
+  /// Cross-check every answer against Dataset::nth_largest (host-side
+  /// ground truth). O(n) per query — for tests, not throughput runs.
+  bool verify = false;
+};
+
+/// One answered query, in stream order.
+struct QueryRecord {
+  std::size_t index = 0;       ///< position in the stream
+  std::size_t cls = 0;         ///< class index
+  OpKind kind = OpKind::kRankSelect;
+  std::size_t rank = 0;        ///< resolved rank d (0 for churn)
+  Word value = 0;              ///< the answer (0 for churn)
+  std::size_t batch_id = 0;    ///< flush that answered it (0 for churn)
+  Cycle latency_cycles = 0;    ///< cycles of that flush's run (0 for churn)
+};
+
+struct ServeReport {
+  ServeConfig cfg;
+  std::vector<QueryRecord> queries;   ///< stream order
+  std::size_t batches = 0;            ///< selection runs executed
+  Cycle total_cycles = 0;             ///< summed over batch runs
+  std::uint64_t total_messages = 0;
+  std::size_t churn_ops = 0;
+  std::size_t filter_phases = 0;      ///< summed over batch runs
+  /// Steady-state reuse evidence (host-side; excluded from json()):
+  /// summed frame allocs/reuses over every batch run.
+  std::uint64_t frame_allocs = 0;
+  std::uint64_t frame_reuses = 0;
+  /// Per-class latency histograms plus serving counters; also carries
+  /// "serve.cycles_per_query" and "serve.queries_per_kcycle" gauges.
+  obs::Metrics metrics;
+
+  /// Deterministic JSON document (model-level fields only — byte-identical
+  /// across engines/threads for one seed).
+  std::string json() const;
+  /// Deterministic Markdown report (same determinism contract).
+  std::string markdown() const;
+};
+
+/// Runs the whole session: dataset + stream from cfg.seed, one persistent
+/// network, batched answering as above. Throws on model violations or (with
+/// cfg.verify) any wrong answer.
+ServeReport run_server(const ServeConfig& cfg);
+
+}  // namespace mcb::serve

@@ -2,10 +2,20 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <stdexcept>
 
 namespace mcb::util {
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
 
 std::string json_escape(std::string_view s) {
   std::string out;

@@ -23,6 +23,12 @@ namespace mcb::util {
 /// escapes; control characters become \u00XX). Does not add the quotes.
 std::string json_escape(std::string_view s);
 
+/// Renders a double as a JSON number: 12 significant digits (the
+/// deterministic-output precision every serializer in this repo uses), and
+/// `0` for NaN/Inf — JSON has no non-finite literals, so streaming such a
+/// value raw (e.g. a 0/0 hit rate) would emit an unparseable document.
+std::string json_double(double v);
+
 /// A parsed JSON document node.
 class JsonValue {
  public:

@@ -237,6 +237,51 @@ TEST(McbsimJsonTest, ThreadsFlagWithSerialEngineIsUsageError) {
   }
 }
 
+TEST(McbsimJsonTest, NegativeValuesInUintListsAreUsageErrors) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  // Regression: parse_uint_list fed "-5" to std::stoull, which happily
+  // wraps to 2^64-5 — the sweep then tried to allocate that many
+  // processors. Any non-digit in a list item must be a usage error.
+  for (const char* flags :
+       {" sweep --p -5 --k 2 --n 64 --algorithms select --seeds 1",
+        " sweep --p 4,-8 --k 2 --n 64 --algorithms select --seeds 1",
+        " sweep --p 8 --k 2 --n 1e3 --algorithms select --seeds 1"}) {
+    const std::string cmd = std::string(mcbsim_bin()) + flags + " 2>&1";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr) << cmd;
+    std::string out;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) out.append(buf, got);
+    const int status = pclose(pipe);
+    ASSERT_TRUE(WIFEXITED(status)) << cmd;
+    EXPECT_EQ(WEXITSTATUS(status), 2) << cmd << "\noutput:\n" << out;
+    EXPECT_NE(out.find("malformed unsigned integer"), std::string::npos)
+        << cmd << "\noutput:\n" << out;
+  }
+}
+
+TEST(McbsimJsonTest, ServeEmitsDeterministicVerifiedReport) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const std::string args =
+      " serve --p 8 --k 2 --n 256 --queries 24 --batch 4 --seed 5 --verify"
+      " --json";
+  const auto out = run_command(std::string(mcbsim_bin()) + args);
+  const auto doc = json_parse(out);
+  EXPECT_EQ(doc.at("config").at("p").as_number(), 8.0);
+  EXPECT_EQ(doc.at("config").at("queries").as_number(), 24.0);
+  EXPECT_GT(doc.at("batches").as_number(), 0.0);
+  EXPECT_GT(doc.at("total_cycles").as_number(), 0.0);
+  ASSERT_TRUE(doc.at("queries").is_array());
+  EXPECT_EQ(doc.at("queries").size(), 24u);
+  ASSERT_TRUE(doc.at("classes").is_array());
+  // Byte-determinism across engines through the CLI (ci.sh enforces the
+  // same with cmp; this keeps it pinned in-suite).
+  const auto out2 = run_command(std::string(mcbsim_bin()) + args +
+                                " --engine parallel --threads 4");
+  EXPECT_EQ(out, out2);
+}
+
 // --- run telemetry (--obs / --trace-out / report) ----------------------------
 
 std::string temp_path(const std::string& name) {

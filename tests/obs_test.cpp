@@ -7,8 +7,10 @@
 // grid pins both.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -265,6 +267,64 @@ TEST(MetricsTest, HistogramQuantilesAreExactNearestRank) {
   EXPECT_DOUBLE_EQ(h.p95(), 5.0);   // ceil(0.95*5) = 5th smallest
   EXPECT_DOUBLE_EQ(h.max(), 5.0);
   EXPECT_DOUBLE_EQ(Histogram{}.p50(), 0.0);
+}
+
+TEST(MetricsTest, HistogramSortsOnceAcrossQuantileCalls) {
+  // Serving reads p50/p95/p99 repeatedly from long-lived histograms; the
+  // sorted view is cached behind a dirty flag, so a batch of quantile
+  // calls costs one sort — with byte-identical answers to the re-sorting
+  // implementation it replaced.
+  Histogram h;
+  for (int i = 1000; i > 0; --i) h.record(i);
+  const double p50 = h.p50();
+  const double p95 = h.p95();
+  const double p99 = h.p99();
+  EXPECT_EQ(h.sort_passes(), 1u);
+  EXPECT_DOUBLE_EQ(p50, 500.0);
+  EXPECT_DOUBLE_EQ(p95, 950.0);
+  EXPECT_DOUBLE_EQ(p99, 990.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 250.0);
+  EXPECT_EQ(h.sort_passes(), 1u);
+  // A new observation invalidates the cache exactly once.
+  h.record(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0001), 0.5);  // rank floors at 1
+  EXPECT_DOUBLE_EQ(h.p50(), 500.0);  // ceil(0.5*1001) = 501st of 1001
+  EXPECT_EQ(h.sort_passes(), 2u);
+}
+
+TEST(MetricsTest, NonFiniteValuesSerializeAsZeroAndRoundTrip) {
+  // NaN/Inf have no JSON literal; the old formatter streamed them raw and
+  // produced documents a strict parser rejects. util::json_double pins
+  // them to 0.
+  Metrics m;
+  m.set("nan_gauge", std::nan(""));
+  m.set("inf_gauge", std::numeric_limits<double>::infinity());
+  m.set("finite_gauge", 2.5);
+  m.observe("h", -std::numeric_limits<double>::infinity());
+  m.observe("h", 3.0);
+  const auto doc = util::json_parse(m.json());
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("nan_gauge").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("inf_gauge").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("finite_gauge").as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("h").at("p50").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("h").at("max").as_number(), 3.0);
+}
+
+TEST(MetricsTest, RunStatsJsonGuardsNonFiniteDoubles) {
+  // The stats block mcbsim --json prints goes through the same guard: a
+  // poisoned cycles_per_sec must not leak "nan" into the document.
+  RunStats stats;
+  stats.cycles = 10;
+  stats.messages = 4;
+  stats.messages_per_proc = {2, 2};
+  stats.messages_per_channel = {4};
+  stats.cycles_per_sec = std::nan("");
+  stats.arena_hit_rate = std::numeric_limits<double>::infinity();
+  const auto doc = util::json_parse(run_stats_json(stats));
+  EXPECT_DOUBLE_EQ(doc.at("cycles").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(doc.at("cycles_per_sec").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.at("arena_hit_rate").as_number(), 0.0);
+  ASSERT_NE(doc.find("frame_reuses"), nullptr);
 }
 
 TEST(MetricsTest, RegistryAccumulatesAndRendersDeterministically) {

@@ -86,6 +86,29 @@ run_preset() {
     > "$builddir/obs_sweep_t4.json"
   cmp "$builddir/obs_sweep_t1.json" "$builddir/obs_sweep_t4.json"
   "$builddir/tools/mcbsim" report "$builddir/obs_sweep_t1.json" > /dev/null
+  # Serving smoke: a persistent network answers a mixed query stream with
+  # every answer cross-checked against host-side ground truth (--verify),
+  # then the report determinism contract — the serve JSON carries only
+  # model-level fields, so one seed must produce byte-identical documents
+  # whichever engine answers it and however many worker threads the
+  # parallel engine uses.
+  echo "=== [$preset] serve smoke ==="
+  "$builddir/tools/mcbsim" serve --p 16 --k 4 --n 1024 --queries 48 \
+    --batch 8 --seed 7 --verify > /dev/null
+  "$builddir/tools/mcbsim" serve --p 16 --k 4 --n 1024 --queries 48 \
+    --batch 8 --seed 7 --json > "$builddir/serve_event.json"
+  "$builddir/tools/mcbsim" serve --p 16 --k 4 --n 1024 --queries 48 \
+    --batch 8 --seed 7 --engine reference --json \
+    > "$builddir/serve_reference.json"
+  "$builddir/tools/mcbsim" serve --p 16 --k 4 --n 1024 --queries 48 \
+    --batch 8 --seed 7 --engine parallel --threads 1 --json \
+    > "$builddir/serve_par_t1.json"
+  "$builddir/tools/mcbsim" serve --p 16 --k 4 --n 1024 --queries 48 \
+    --batch 8 --seed 7 --engine parallel --threads 4 --json \
+    > "$builddir/serve_par_t4.json"
+  cmp "$builddir/serve_event.json" "$builddir/serve_reference.json"
+  cmp "$builddir/serve_event.json" "$builddir/serve_par_t1.json"
+  cmp "$builddir/serve_event.json" "$builddir/serve_par_t4.json"
 }
 
 # Validates a bench artifact's gates with `mcbsim gates`: a strict JSON
@@ -157,6 +180,17 @@ echo "=== [tsan] checked parallel sweep smoke ==="
 echo "=== [tsan] checked parallel-engine run smoke ==="
 ./build-tsan/tools/mcbsim select --p 64 --k 4 --n 256 \
   --engine parallel --threads 4 --check > /dev/null
+# The serving loop reset()s and re-runs one network across batches; under
+# the parallel engine that re-crosses every stripe handoff, so it runs
+# under TSan too — with the thread-count determinism contract on top.
+echo "=== [tsan] serve smoke (parallel engine, reset-reuse path) ==="
+./build-tsan/tools/mcbsim serve --p 16 --k 4 --n 1024 --queries 32 \
+  --batch 8 --seed 7 --verify --engine parallel --threads 4 --json \
+  > build-tsan/serve_par_t4.json
+./build-tsan/tools/mcbsim serve --p 16 --k 4 --n 1024 --queries 32 \
+  --batch 8 --seed 7 --verify --engine parallel --threads 2 --json \
+  > build-tsan/serve_par_t2.json
+cmp build-tsan/serve_par_t4.json build-tsan/serve_par_t2.json
 
 # Bench gates on the optimised build. The binaries exit non-zero when an
 # enforced gate fails, which aborts CI via set -e; unenforced gates only
@@ -164,8 +198,10 @@ echo "=== [tsan] checked parallel-engine run smoke ==="
 echo "=== bench gates (release) ==="
 ./build-release/bench/bench_simspeed build-release/BENCH_simspeed.json
 ./build-release/bench/bench_sweep build-release/BENCH_sweep.json
+./build-release/bench/bench_serve build-release/BENCH_serve.json
 check_gates build-release/BENCH_simspeed.json
 check_gates build-release/BENCH_sweep.json
+check_gates build-release/BENCH_serve.json
 
 if [ "$WARNINGS" -gt 0 ]; then
   echo "CI OK with $WARNINGS WARNING(s): release + asan-ubsan + noarena" \

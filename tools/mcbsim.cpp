@@ -47,6 +47,7 @@
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
 #include "se/shout_echo.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -81,6 +82,13 @@ std::vector<std::string> split_list(const std::string& s) {
 std::vector<std::size_t> parse_uint_list(const std::string& s) {
   std::vector<std::size_t> out;
   for (const auto& item : split_list(s)) {
+    // std::stoull accepts leading whitespace and a sign, wrapping "-5" to
+    // 18446744073709551611 silently; these flags are counts and sizes, so
+    // only plain digit strings are meaningful.
+    if (item.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("malformed unsigned integer '" + item +
+                                  "' (digits only)");
+    }
     std::size_t pos = 0;
     const auto v = std::stoull(item, &pos);
     if (pos != item.size()) {
@@ -92,24 +100,7 @@ std::vector<std::size_t> parse_uint_list(const std::string& s) {
 }
 
 void print_stats_json(const RunStats& stats, std::ostream& os) {
-  os << "{\"cycles\":" << stats.cycles << ",\"messages\":" << stats.messages
-     << ",\"peak_aux_words\":" << stats.max_peak_aux()
-     << ",\"sim_wall_ns\":" << stats.sim_wall_ns
-     << ",\"proc_resumes\":" << stats.proc_resumes
-     << ",\"cycles_per_sec\":" << stats.cycles_per_sec
-     << ",\"frame_allocs\":" << stats.frame_allocs
-     << ",\"frame_frees\":" << stats.frame_frees
-     << ",\"arena_bytes_peak\":" << stats.arena_bytes_peak
-     << ",\"arena_hit_rate\":" << stats.arena_hit_rate << ",\"phases\":[";
-  for (std::size_t i = 0; i < stats.phases.size(); ++i) {
-    const auto& ph = stats.phases[i];
-    if (i) os << ',';
-    os << "{\"name\":\"" << util::json_escape(ph.name)
-       << "\",\"first_cycle\":" << ph.first_cycle
-       << ",\"cycles\":" << ph.cycles << ",\"messages\":" << ph.messages
-       << '}';
-  }
-  os << "]}";
+  os << obs::run_stats_json(stats);
 }
 
 /// The run's logical identity: everything needed to regenerate its workload
@@ -407,6 +398,32 @@ int cmd_select(const util::Cli& cli) {
   return do_check && !checker->report().ok() ? 1 : obs_rc;
 }
 
+// Online serving mode: one persistent network answers a deterministic
+// query stream with batched multi-rank selection (src/serve). The report —
+// JSON with --json, Markdown otherwise — carries only model-level fields,
+// so it is byte-identical across engines and thread counts for one seed;
+// tools/ci.sh cmp's it across --threads under TSan.
+int cmd_serve(const util::Cli& cli) {
+  serve::ServeConfig sc;
+  sc.sim.p = cli.get_uint("p", 16);
+  sc.sim.k = cli.get_uint("k", 4);
+  sc.n = cli.get_uint("n", sc.sim.p * 64);
+  sc.seed = cli.get_uint("seed", 1);
+  sc.queries = cli.get_uint("queries", 64);
+  sc.batch = cli.get_uint("batch", 8);
+  sc.classes = serve::parse_classes(
+      cli.get_string("classes", "rank:4,topk:2,churn:1"));
+  sc.verify = cli.get_bool("verify");
+  apply_engine_flags(cli, sc.sim);
+  const auto rep = serve::run_server(sc);
+  if (cli.get_bool("json")) {
+    std::cout << rep.json() << '\n';
+  } else {
+    std::cout << rep.markdown();
+  }
+  return 0;
+}
+
 int cmd_psum(const util::Cli& cli) {
   const auto p = cli.get_uint("p", 16);
   const auto k = cli.get_uint("k", 4);
@@ -667,14 +684,19 @@ int cmd_sweep(const util::Cli& cli) {
 
 int usage() {
   std::cerr <<
-      "usage: mcbsim <sort|select|psum|trace|bounds|sweep|gates|report>"
-      " [--flags]\n"
+      "usage: mcbsim <sort|select|serve|psum|trace|bounds|sweep|gates|"
+      "report> [--flags]\n"
       "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--engine]"
       " [--threads] [--check] [--json]\n"
       "          [--obs] [--trace-out f.json] [--obs-buckets N]\n"
       "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo]"
       " [--engine] [--threads] [--check]\n"
       "          [--json] [--obs] [--trace-out f.json] [--obs-buckets N]\n"
+      "  serve   --p --k --n [--seed] --queries N"
+      " [--classes rank:4,topk:2,churn:1]\n"
+      "          [--batch B] [--engine] [--threads] [--verify] [--json]\n"
+      "          one persistent network answers a seeded query stream;\n"
+      "          output is byte-identical across engines/threads per seed\n"
       "  psum    --p --k [--op add|max|min]\n"
       "  trace   --p [--n] [--seed] [--limit] [--engine] [--threads]"
       " [--check] [--obs] [--trace-out f.json]\n"
@@ -718,6 +740,8 @@ int main(int argc, char** argv) {
       rc = cmd_sort(cli);
     } else if (cli.command() == "select") {
       rc = cmd_select(cli);
+    } else if (cli.command() == "serve") {
+      rc = cmd_serve(cli);
     } else if (cli.command() == "psum") {
       rc = cmd_psum(cli);
     } else if (cli.command() == "trace") {
