@@ -23,7 +23,7 @@
 // carries ns_per_proc_cycle = sim_wall_ns / (p * cycles), the
 // size-normalized cost that makes rows of different geometry comparable.
 //
-// Three gates, each failing the binary when enforced:
+// Four gates, each failing the binary when enforced:
 //   * event_vs_reference — the event engine must beat the reference loop
 //     >= 5x on the skip-heavy selection p=4096 k=4 point (since PR 1).
 //   * arena_vs_pr2 — with the frame arena on, the same point's event
@@ -34,8 +34,21 @@
 //     beat the event engine >= 2x on selection p=65536 k=4. Enforced only
 //     on machines with >= 4 hardware threads; below that the pool cannot
 //     possibly buy a 2x and the gate reports unenforced.
+//   * parallel_hotpath_vs_pr6 — parallel ns_per_proc_cycle on the same
+//     p=65536 point must beat the PR-6 recorded baseline >= 1.5x (batched
+//     slot commits + barrier fusion). Same >= 4-hardware-thread
+//     enforcement floor as parallel_vs_event.
+//
+// One extra row rides outside the gate grid: selection p=2^20 (n=4p),
+// parallel engine only, a single rep — the first megaprocessor data point.
+// It only runs when the p=65536 parallel median stayed within a wall-clock
+// budget (small CI runners would otherwise spend tens of minutes on it);
+// when skipped, the JSON says so loudly in a top-level "big_row" object
+// rather than silently omitting the row. MCB_SIMSPEED_FORCE_BIG=1 forces it
+// regardless of budget.
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -65,6 +78,18 @@ constexpr double kArenaRequiredHitRate = 0.9;
 constexpr double kParallelRequiredSpeedup = 2.0;
 constexpr unsigned kParallelMinHardware = 4;
 
+// Parallel ns_per_proc_cycle on selection p=65536 k=4 recorded in
+// BENCH_simspeed.json by PR 6, before the hot-path overhaul (batched slot
+// commits, sticky stripe affinity, barrier fusion). The hot-path gate
+// measures against this fixed point; same hardware floor as above.
+constexpr double kPr6ParallelNsPerProcCycle = 0.0698078;
+constexpr double kHotPathRequiredRatio = 1.5;
+
+// The p=2^20 row runs only when the p=65536 parallel median wall clock came
+// in under this budget (the big row is ~16x that work), or when
+// MCB_SIMSPEED_FORCE_BIG=1 overrides the guard.
+constexpr std::uint64_t kBigRowBudgetWallNs = 2'000'000'000;  // 2 s
+
 struct GridPoint {
   std::string bench;  // "sort" | "selection"
   std::size_t p, k, n;
@@ -93,6 +118,16 @@ struct Row {
                : static_cast<double>(event.median.sim_wall_ns) /
                      static_cast<double>(par.median.sim_wall_ns);
   }
+};
+
+// The p=2^20 parallel-only row and the budget decision behind it. Always
+// serialized into the JSON (as "big_row") so a skip is loud, not silent.
+struct BigRow {
+  GridPoint pt;
+  bool ran = false;
+  bool forced = false;             // MCB_SIMSPEED_FORCE_BIG=1 was set
+  std::uint64_t gate_wall_ns = 0;  // p=65536 parallel median (budget key)
+  EngineResult par;                // a single rep when ran
 };
 
 const char* engine_json_name(Engine e) {
@@ -148,18 +183,19 @@ double ns_per_proc_cycle(const GridPoint& pt, const RunStats& s) {
   return work == 0.0 ? 0.0 : static_cast<double>(s.sim_wall_ns) / work;
 }
 
-std::string json_run_row(const Row& r, Engine engine) {
-  const EngineResult& er = engine == Engine::kReference ? r.ref
-                           : engine == Engine::kEventDriven ? r.event
-                                                            : r.par;
+/// One run as rolled up at a grid point (reference vs skipped, a single
+/// rep vs kReps) never makes it into the artifact shape: every run row has
+/// the same fields no matter how it was produced.
+std::string json_run_row(const GridPoint& pt, const EngineResult& er,
+                         Engine engine) {
   const RunStats& s = er.median;
   std::ostringstream os;
-  os << "    {\"bench\": \"" << r.pt.bench << "\", \"p\": " << r.pt.p
-     << ", \"k\": " << r.pt.k << ", \"n\": " << r.pt.n << ", \"engine\": \""
+  os << "    {\"bench\": \"" << pt.bench << "\", \"p\": " << pt.p
+     << ", \"k\": " << pt.k << ", \"n\": " << pt.n << ", \"engine\": \""
      << engine_json_name(engine) << "\""
      << ", \"cycles\": " << s.cycles << ", \"messages\": " << s.messages
      << ", \"sim_wall_ns\": " << s.sim_wall_ns
-     << ", \"ns_per_proc_cycle\": " << ns_per_proc_cycle(r.pt, s)
+     << ", \"ns_per_proc_cycle\": " << ns_per_proc_cycle(pt, s)
      << ", \"proc_resumes\": " << s.proc_resumes
      << ", \"cycles_per_sec\": " << s.cycles_per_sec
      << ", \"frame_allocs\": " << s.frame_allocs
@@ -175,7 +211,7 @@ std::string json_run_row(const Row& r, Engine engine) {
 }
 
 void write_json(const std::vector<Row>& rows, const Row& headline,
-                const Row& big, bool parallel_enforced,
+                const Row& big, const BigRow& huge, bool parallel_enforced,
                 const std::string& path) {
   const bool arena_on = MCB_FRAME_ARENA_ENABLED != 0;
   const double arena_speedup =
@@ -189,6 +225,11 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
   const bool ref_passed = headline.speedup() >= 5.0;
   const bool parallel_passed =
       big.parallel_speedup() >= kParallelRequiredSpeedup;
+  const double hotpath_measured = ns_per_proc_cycle(big.pt, big.par.median);
+  const double hotpath_ratio =
+      hotpath_measured == 0.0 ? 0.0
+                              : kPr6ParallelNsPerProcCycle / hotpath_measured;
+  const bool hotpath_passed = hotpath_ratio >= kHotPathRequiredRatio;
 
   std::ofstream out(path);
   if (!out) {
@@ -199,13 +240,33 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
       << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     if (!rows[i].pt.skip_reference) {
-      out << json_run_row(rows[i], Engine::kReference) << ",\n";
+      out << json_run_row(rows[i].pt, rows[i].ref, Engine::kReference)
+          << ",\n";
     }
-    out << json_run_row(rows[i], Engine::kEventDriven) << ",\n";
-    out << json_run_row(rows[i], Engine::kParallel)
-        << (i + 1 < rows.size() ? ",\n" : "\n");
+    out << json_run_row(rows[i].pt, rows[i].event, Engine::kEventDriven)
+        << ",\n";
+    out << json_run_row(rows[i].pt, rows[i].par, Engine::kParallel)
+        << (i + 1 < rows.size() || huge.ran ? ",\n" : "\n");
   }
-  out << "  ],\n  \"speedups\": [\n";
+  if (huge.ran) {
+    out << json_run_row(huge.pt, huge.par, Engine::kParallel) << "\n";
+  }
+  // The big row's disposition, run or skipped — a reader diffing artifacts
+  // across machines sees *why* the p=2^20 row is absent, not just that it
+  // is. (No "enforced" member: this is a note, not a gate.)
+  out << "  ],\n  \"big_row\": {\"bench\": \"" << huge.pt.bench
+      << "\", \"p\": " << huge.pt.p << ", \"k\": " << huge.pt.k
+      << ", \"n\": " << huge.pt.n << ", \"engine\": \"parallel\", \"reps\": 1"
+      << ", \"status\": \"" << (huge.ran ? "run" : "SKIPPED")
+      << "\", \"budget_wall_ns\": " << kBigRowBudgetWallNs
+      << ", \"p65536_parallel_wall_ns\": " << huge.gate_wall_ns
+      << ", \"forced\": " << (huge.forced ? "true" : "false");
+  if (!huge.ran) {
+    out << ", \"reason\": \"p=65536 parallel median wall exceeds the budget "
+           "on this machine; set MCB_SIMSPEED_FORCE_BIG=1 to run it "
+           "anyway\"";
+  }
+  out << "},\n  \"speedups\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     out << "    {\"bench\": \"" << rows[i].pt.bench
         << "\", \"p\": " << rows[i].pt.p << ", \"k\": " << rows[i].pt.k
@@ -235,7 +296,17 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
       << ", \"measured\": " << big.parallel_speedup()
       << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ", \"enforced\": " << (parallel_enforced ? "true" : "false")
-      << ", \"passed\": " << (parallel_passed ? "true" : "false") << "}\n"
+      << ", \"passed\": " << (parallel_passed ? "true" : "false") << "},\n"
+      << "    {\"name\": \"parallel_hotpath_vs_pr6\", \"bench\": "
+         "\"selection\", \"p\": "
+      << big.pt.p << ", \"k\": " << big.pt.k
+      << ", \"baseline_ns_per_proc_cycle\": " << kPr6ParallelNsPerProcCycle
+      << ", \"measured_ns_per_proc_cycle\": " << hotpath_measured
+      << ", \"required_ratio\": " << kHotPathRequiredRatio
+      << ", \"measured_ratio\": " << hotpath_ratio
+      << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ", \"enforced\": " << (parallel_enforced ? "true" : "false")
+      << ", \"passed\": " << (hotpath_passed ? "true" : "false") << "}\n"
       << "  ]\n}\n";
 }
 
@@ -324,9 +395,40 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The p=2^20 row: parallel engine only (the serial engines would take
+  // O(10 minutes) even on fast hardware), one rep, behind the wall-clock
+  // budget so small CI runners are not stuck simulating a megaprocessor
+  // network. The skip is recorded in the JSON, never silent.
+  BigRow huge;
+  huge.pt = {"selection", std::size_t{1} << 20, 4, std::size_t{4} << 20,
+             /*skip_reference=*/true};
+  huge.gate_wall_ns = big->par.median.sim_wall_ns;
+  const char* force_env = std::getenv("MCB_SIMSPEED_FORCE_BIG");
+  huge.forced =
+      force_env != nullptr && *force_env != '\0' && *force_env != '0';
+  if (huge.forced || huge.gate_wall_ns <= kBigRowBudgetWallNs) {
+    std::cout << "\nrunning the p=2^20 selection row (parallel only, "
+                 "1 rep)...\n";
+    RunStats s = run_point(huge.pt, Engine::kParallel);
+    huge.par.wall_ns.push_back(s.sim_wall_ns);
+    huge.par.median = std::move(s);
+    huge.ran = true;
+    std::cout << "selection p=2^20 k=4 parallel: "
+              << static_cast<double>(huge.par.median.sim_wall_ns) / 1e6
+              << " ms, " << huge.par.median.cycles << " cycles, "
+              << ns_per_proc_cycle(huge.pt, huge.par.median)
+              << " ns/proc-cycle\n";
+  } else {
+    std::cout << "\nSKIPPED the p=2^20 selection row: p=65536 parallel "
+                 "median wall "
+              << huge.gate_wall_ns << " ns exceeds the "
+              << kBigRowBudgetWallNs
+              << " ns budget (set MCB_SIMSPEED_FORCE_BIG=1 to force)\n";
+  }
+
   const unsigned hw = std::thread::hardware_concurrency();
   const bool parallel_enforced = hw >= kParallelMinHardware;
-  write_json(rows, *headline, *big, parallel_enforced, json_path);
+  write_json(rows, *headline, *big, huge, parallel_enforced, json_path);
   std::cout << "\nwrote " << json_path << "\n";
 
   // Gate 1 (since PR 1): the skip-heavy selection workload at p=4096, k=4
@@ -377,6 +479,27 @@ int main(int argc, char** argv) {
                  "k=4 (speedup "
               << big->parallel_speedup() << "x on " << hw
               << " hardware threads)\n";
+    return 1;
+  }
+
+  // Gate 4 (since PR 8): the hot-path overhaul (batched slot commits,
+  // sticky affinity, barrier fusion) must hold a >= 1.5x ns_per_proc_cycle
+  // improvement over the PR-6 parallel engine on the same point. Same
+  // hardware floor as gate 3.
+  const double hotpath = ns_per_proc_cycle(big->pt, big->par.median);
+  const double hotpath_ratio =
+      hotpath == 0.0 ? 0.0 : kPr6ParallelNsPerProcCycle / hotpath;
+  std::cout << "selection p=65536 k=4 parallel ns/proc-cycle: " << hotpath
+            << " vs PR-6 baseline " << kPr6ParallelNsPerProcCycle << " ("
+            << hotpath_ratio << "x, gate >= " << kHotPathRequiredRatio << ")"
+            << (parallel_enforced ? ""
+                                  : " [NOT ENFORCED: < 4 hardware threads]")
+            << "\n";
+  if (parallel_enforced && hotpath_ratio < kHotPathRequiredRatio) {
+    std::cerr << "BENCH FAILURE: hot-path gate missed on selection p=65536 "
+                 "k=4 (ns_per_proc_cycle "
+              << hotpath << ", only " << hotpath_ratio
+              << "x over the PR-6 baseline)\n";
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "harness/thread_pool.hpp"
 
 #include <atomic>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -43,7 +44,9 @@ WorkerPool::WorkerPool(std::size_t workers)
     : workers_(workers == 0 ? 1 : workers) {
   threads_.reserve(workers_ - 1);
   for (std::size_t t = 0; t + 1 < workers_; ++t) {
-    threads_.emplace_back([this] { worker_main(); });
+    // Lane 0 is the caller of run()/run_static(); resident thread t owns
+    // lane t + 1 for the lifetime of the pool (the static-affinity map).
+    threads_.emplace_back([this, lane = t + 1] { worker_main(lane); });
   }
 }
 
@@ -56,8 +59,7 @@ WorkerPool::~WorkerPool() {
   for (auto& th : threads_) th.join();
 }
 
-void WorkerPool::claim_loop(std::uint32_t epoch, std::size_t n,
-                            const std::function<void(std::size_t)>& fn) {
+void WorkerPool::claim_loop(std::uint32_t epoch, std::size_t n, FnRef fn) {
   for (;;) {
     std::uint64_t s = state_.load(std::memory_order_acquire);
     if (static_cast<std::uint32_t>(s >> 32) != epoch) return;  // stale batch
@@ -73,10 +75,11 @@ void WorkerPool::claim_loop(std::uint32_t epoch, std::size_t n,
   }
 }
 
-void WorkerPool::worker_main() {
+void WorkerPool::worker_main(std::size_t lane) {
   std::uint32_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const FnRef* fn = nullptr;
+    const FnRef* sfn = nullptr;
     std::size_t n = 0;
     std::uint32_t epoch = 0;
     {
@@ -85,14 +88,23 @@ void WorkerPool::worker_main() {
       if (stop_) return;
       seen = epoch = epoch_;
       fn = job_;
+      sfn = static_job_;
       n = job_n_;
     }
-    claim_loop(epoch, n, *fn);
+    if (sfn != nullptr) {
+      // Static batch: this thread's fixed lane, exactly once. The caller
+      // waits for all workers_ completions, so no resident thread can sleep
+      // through a static epoch — the batch does not finish without it.
+      (*sfn)(lane);
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++completed_ == job_n_) done_cv_.notify_one();
+    } else {
+      claim_loop(epoch, n, *fn);
+    }
   }
 }
 
-void WorkerPool::run(std::size_t n,
-                     const std::function<void(std::size_t)>& fn) {
+void WorkerPool::run(std::size_t n, FnRef fn) {
   if (n == 0) return;
   if (threads_.empty()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -103,6 +115,7 @@ void WorkerPool::run(std::size_t n,
     std::lock_guard<std::mutex> lk(mu_);
     epoch = ++epoch_;
     job_ = &fn;
+    static_job_ = nullptr;
     job_n_ = n;
     completed_ = 0;
     // Publish the batch counter inside the critical section: a worker whose
@@ -119,6 +132,37 @@ void WorkerPool::run(std::size_t n,
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return completed_ == n; });
   job_ = nullptr;
+}
+
+void WorkerPool::run_static(FnRef fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  std::uint32_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch = ++epoch_;
+    job_ = nullptr;
+    static_job_ = &fn;
+    job_n_ = workers_;
+    completed_ = 0;
+    // Saturate the index half under the new epoch: a dynamic straggler
+    // re-checking state_ sees a foreign epoch (or a fully-claimed batch)
+    // and retires without touching this batch. Static lanes never read
+    // state_; publication happens under mu_ via the wait predicate.
+    state_.store(pack(epoch, std::numeric_limits<std::uint32_t>::max()),
+                 std::memory_order_release);
+  }
+  start_cv_.notify_all();
+
+  fn(0);  // the caller is lane 0
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (++completed_ != job_n_) {
+    done_cv_.wait(lk, [&] { return completed_ == job_n_; });
+  }
+  static_job_ = nullptr;
 }
 
 }  // namespace mcb::harness

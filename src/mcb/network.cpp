@@ -1,6 +1,7 @@
 #include "mcb/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <limits>
 #include <thread>
@@ -29,8 +30,9 @@ constexpr std::size_t kParallelBatchMin = 64;
 
 /// One shard of the parallel engine: a contiguous processor-id range
 /// [begin, end) with its own frame arena and per-cycle buffers. A stripe is
-/// touched by exactly one worker per pass (workers claim whole stripes), so
-/// nothing here is synchronized beyond the pool barrier.
+/// touched by exactly one worker per pass (the sticky stripe→lane map pins
+/// it to one thread for the whole run), so nothing here is synchronized
+/// beyond the pool barrier.
 struct Network::Stripe {
   struct WakeReg {
     ProcId id;
@@ -40,10 +42,13 @@ struct Network::Stripe {
   util::FrameArena arena;
 
   // Per-cycle deltas, merged (and cleared) at the barrier in stripe order.
+  // staged_writes holds the ids whose pending_write intent was set when they
+  // suspended; the coordinator commits them serially (stripe-major = id
+  // order) at the top of the next cycle, so the hot path never touches the
+  // shared slot arrays from a worker thread.
+  std::vector<ProcId> staged_writes;
   std::vector<WakeReg> wakes;
   std::vector<ProcId> active;
-  std::vector<ChannelId> dirty;
-  std::uint64_t msgs = 0;
   std::uint64_t resumes = 0;
   std::uint64_t completions = 0;
   std::exception_ptr error;
@@ -70,7 +75,13 @@ Network::Network(SimConfig cfg, TraceSink* sink)
   stats_.messages_per_channel.assign(cfg_.k, 0);
 
   if (mode_ == Engine::kParallel) {
-    stripe_width_ = (cfg_.p + kStripeCount - 1) / kStripeCount;
+    // Power-of-two stripe width so stripe lookup is a shift (and the drain
+    // spans can be cut by binary search on id boundaries). Still a pure
+    // function of p — never of the thread count — so the stripe an id maps
+    // to, its arena and its staging buffers are thread-count invariant.
+    stripe_width_ = std::bit_ceil((cfg_.p + kStripeCount - 1) / kStripeCount);
+    stripe_shift_ =
+        static_cast<std::uint32_t>(std::countr_zero(stripe_width_));
     const std::size_t stripes =
         (cfg_.p + stripe_width_ - 1) / stripe_width_;
     stripes_.reserve(stripes);
@@ -120,8 +131,14 @@ void Network::on_cycle_op(Proc& pr) {
     sched_.add_active(id);
     sched_.schedule_wake(id, now_ + 1, now_);
   } else if (mode_ == Engine::kParallel) {
+    // The channel intents are already in the ProcTable (the awaiter factory
+    // stores them before suspending), so the write can be staged right here
+    // — the commit pass then only walks actual writers, not all actives.
+    // The active list is only consumed by the traced read/emit pass; leave
+    // it empty on untraced runs, where reads fuse into the resume pass.
     Stripe& s = *tl_stripe_;
-    s.active.push_back(id);
+    if (tab_.pending_write[id]) s.staged_writes.push_back(id);
+    if (sink_ != nullptr) s.active.push_back(id);
     s.wakes.push_back(Stripe::WakeReg{id, now_ + 1});
   }
 }
@@ -252,7 +269,11 @@ RunStats Network::run() {
 
   // The worker pool lives for exactly one run. Sized from SimConfig::threads
   // (0 = hardware), capped at the stripe count — a stripe is the unit of
-  // work, so extra lanes could never claim anything.
+  // work, so extra lanes could never run anything. The requested/effective
+  // pair is host telemetry (like sim_wall_ns): the cap is otherwise silent,
+  // and `mcbsim --json` surfaces it.
+  stats_.threads_requested = cfg_.threads;
+  stats_.threads_effective = 1;
   std::unique_ptr<harness::WorkerPool> pool;
   if (parallel) {
     std::size_t t = cfg_.threads;
@@ -261,10 +282,37 @@ RunStats Network::run() {
       t = hw == 0 ? 1 : hw;
     }
     t = std::min(t, stripes_.size());
+    stats_.threads_effective = t;
     if (t > 1) {
       pool = std::make_unique<harness::WorkerPool>(t);
       pool_ = pool.get();
     }
+  }
+
+  // Sticky stripe→lane affinity: contiguous stripe blocks per lane (stripes
+  // are contiguous id ranges, so each lane owns one contiguous id range for
+  // the whole run). The map never influences results — any lane could run
+  // any stripe and produce the same bytes — it only keeps each stripe's
+  // table columns, arena and staging buffers in one core's cache. The
+  // warmup dispatch below makes the owning lane do the first touch of its
+  // stripes' staging buffers (NUMA-aware first-touch placement) and
+  // pre-sizes them so the hot path never grows a vector.
+  if (pool_ != nullptr) {
+    const std::size_t lanes = pool_->workers();
+    stripe_lane_.resize(stripes_.size());
+    for (std::size_t s = 0; s < stripes_.size(); ++s) {
+      stripe_lane_[s] =
+          static_cast<std::uint32_t>(s * lanes / stripes_.size());
+    }
+    pool_->run_static([this](std::size_t w) {
+      for (std::size_t s = 0; s < stripes_.size(); ++s) {
+        if (stripe_lane_[s] != w) continue;
+        Stripe& st = *stripes_[s];
+        st.staged_writes.reserve(stripe_width_);
+        st.wakes.reserve(stripe_width_);
+        if (sink_ != nullptr) st.active.reserve(stripe_width_);
+      }
+    });
   }
 
   // Route coroutine frame allocations (Task subroutine frames created by
@@ -287,7 +335,8 @@ RunStats Network::run() {
     for (std::size_t i = 0; i < cfg_.p; ++i) {
       all[i] = static_cast<ProcId>(i);
     }
-    parallel_resume(all, /*initial=*/true);
+    build_segments(all);
+    parallel_resume(all, /*initial=*/true, /*apply_reads=*/false);
   } else {
     for (ProcId i = 0; i < cfg_.p; ++i) {
       if (tab_.done[i] == 0) resume_proc(i);
@@ -390,17 +439,16 @@ void Network::reset() {
   phase_start_messages_ = 0;
 
   // Parallel-engine scratch. The stripe buffers are normally drained at the
-  // barrier, but a run aborted by a thrown error can leave residue.
+  // barrier (and the staging buffers at the commit), but a run aborted by a
+  // thrown error can leave residue.
   pool_ = nullptr;
   segments_.clear();
   segment_ids_ = nullptr;
-  collision_flag_.store(0, std::memory_order_relaxed);
   pending_error_ = nullptr;
   for (auto& s : stripes_) {
+    s->staged_writes.clear();
     s->wakes.clear();
     s->active.clear();
-    s->dirty.clear();
-    s->msgs = 0;
     s->resumes = 0;
     s->completions = 0;
     s->error = nullptr;
@@ -523,119 +571,102 @@ void Network::run_reference_loop() {
 // ---------------------------------------------------------------------------
 // Parallel engine.
 //
-// Same wake queue and cycle structure as the event loop; the three per-cycle
-// passes (write scan, read scan, resume) fan out over stripe segments and
-// meet at a barrier (each WorkerPool::run is one). Everything order-
-// sensitive — trace emission, wake merging, stats accumulation, collision
-// and exception reporting — happens serially on the coordinator between
-// barriers, in stripe order, which equals processor-id order because
-// stripes are contiguous id ranges. See docs/ENGINE.md ("Parallel engine").
+// Same wake queue and cycle structure as the event loop, reorganized around
+// one barrier per cycle:
+//
+//   * Writes are staged per stripe when the processor suspends (on_cycle_op
+//     runs inside the resume pass, on the stripe's owning lane) and
+//     committed serially at the top of the next cycle, stripe-major — which
+//     is id order — so a collision throws the reference engine's exact
+//     CollisionError with no atomic claims and no re-scan. A cycle carries
+//     at most k successful writes, so the serial commit is O(k), not O(p).
+//
+//   * The read scan is fused into the next cycle's resume pass: reads only
+//     consume slot state that is final at the commit, and the dirty slots
+//     are cleared after the fused pass instead of before it. Untraced runs
+//     therefore cross exactly one barrier per cycle; traced runs keep a
+//     dedicated read pass + serial emit (the sink's stream is part of the
+//     identity contract) for two barriers per cycle.
+//
+// Everything order-sensitive — trace emission, wake merging, stats
+// accumulation, collision and exception reporting — happens serially on the
+// coordinator between barriers, in stripe order, which equals processor-id
+// order because stripes are contiguous id ranges. Which lane runs a stripe
+// is invisible in the results; the sticky map only exists for cache
+// locality. See docs/ENGINE.md ("The parallel engine").
 // ---------------------------------------------------------------------------
 
 /// Splits an id-sorted list into per-stripe contiguous segments.
 void Network::build_segments(const std::vector<ProcId>& ids) {
-  segments_.clear();
+  Scheduler::segment_spans(ids, stripe_shift_, segments_);
   segment_ids_ = &ids;
-  const std::size_t n = ids.size();
-  std::size_t i = 0;
-  while (i < n) {
-    const auto stripe = static_cast<std::uint32_t>(ids[i] / stripe_width_);
-    const ProcId limit =
-        static_cast<ProcId>((stripe + 1) * stripe_width_);
-    std::size_t j = i + 1;
-    while (j < n && ids[j] < limit) ++j;
-    segments_.push_back(Segment{stripe, static_cast<std::uint32_t>(i),
-                                static_cast<std::uint32_t>(j)});
-    i = j;
-  }
 }
 
 /// Runs fn over every segment: on the pool when the batch is worth the
 /// dispatch, inline on the coordinator otherwise. Both paths execute the
 /// identical per-stripe code, so the choice is invisible in the results.
+/// Pool dispatch is static: each lane walks the contiguous block of
+/// segments its stripes map to (stripe_lane_ is monotone, so a prefix sum
+/// over per-lane segment counts yields each lane's [lo, hi) block).
 void Network::dispatch_segments(std::size_t total_items,
-                                const std::function<void(std::size_t)>& fn) {
+                                const harness::FnRef& fn) {
   const std::size_t n = segments_.size();
-  if (pool_ != nullptr && n > 1 && total_items >= kParallelBatchMin) {
-    pool_->run(n, fn);
-  } else {
+  if (pool_ == nullptr || n <= 1 || total_items < kParallelBatchMin) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
+  const std::size_t lanes = pool_->workers();
+  lane_seg_.assign(lanes + 1, 0);
+  for (const auto& seg : segments_) {
+    ++lane_seg_[stripe_lane_[seg.stripe] + 1];
+  }
+  for (std::size_t w = 0; w < lanes; ++w) lane_seg_[w + 1] += lane_seg_[w];
+  pool_->run_static([this, &fn](std::size_t w) {
+    for (std::size_t si = lane_seg_[w]; si < lane_seg_[w + 1]; ++si) fn(si);
+  });
 }
 
-/// Parallel write scan over the active list. Slots are claimed with an
-/// atomic exchange; a lost claim only sets a flag — the exact, deterministic
-/// CollisionError (first writer in id order) is reconstructed serially by
-/// rethrow_collision, since the racy claim winner may be either writer.
-void Network::parallel_writes(const std::vector<ProcId>& active) {
-  build_segments(active);
-  collision_flag_.store(0, std::memory_order_relaxed);
-  auto task = [this](std::size_t si) {
-    const Segment seg = segments_[si];
-    Stripe& s = *stripes_[seg.stripe];
-    const auto& ids = *segment_ids_;
-    std::uint64_t msgs = 0;
-    for (std::uint32_t j = seg.lo; j < seg.hi; ++j) {
-      const ProcId id = ids[j];
+/// Serial commit of the writes staged during the previous resume pass,
+/// walking stripes in ascending order. Within a stripe the staging order is
+/// ascending id (the drain is id-sorted), so the commit visits writers in
+/// global id order and reproduces the reference engine's CollisionError —
+/// same cycle, channel, first and second writer — directly at the conflict.
+void Network::commit_staged_writes() {
+  for (auto& sp : stripes_) {
+    Stripe& s = *sp;
+    if (s.staged_writes.empty()) continue;
+    for (ProcId id : s.staged_writes) {
       const auto& w = tab_.pending_write[id];
-      if (!w) continue;
       const ChannelId c = w->channel;
-      if (slot_written_[c].exchange(1, std::memory_order_acq_rel) != 0) {
-        collision_flag_.store(1, std::memory_order_relaxed);
-        continue;
+      if (slot_written_[c].load(std::memory_order_relaxed) != 0) {
+        throw CollisionError(now_, c, slot_writer_[c], id);
       }
+      slot_written_[c].store(1, std::memory_order_relaxed);
       slot_writer_[c] = id;
       slot_msg_[c] = w->msg;
-      s.dirty.push_back(c);
-      ++msgs;
+      sched_.mark_dirty(c);
+      ++stats_.messages;
       ++stats_.messages_per_proc[id];
       ++stats_.messages_per_channel[c];
     }
-    s.msgs += msgs;
-  };
-  dispatch_segments(active.size(), task);
-  if (collision_flag_.load(std::memory_order_relaxed) != 0) {
-    rethrow_collision(active);
-  }
-  // Merge the per-stripe deltas before anything downstream can observe
-  // stats_.messages (mark_phase and span marks read it during resumes).
-  for (const Segment& seg : segments_) {
-    Stripe& s = *stripes_[seg.stripe];
-    stats_.messages += s.msgs;
-    s.msgs = 0;
-    for (ChannelId c : s.dirty) sched_.mark_dirty(c);
-    s.dirty.clear();
+    s.staged_writes.clear();
   }
 }
 
-/// Serial re-scan in id order reproducing the reference engine's exact
-/// CollisionError (cycle, channel, first and second writer).
-void Network::rethrow_collision(const std::vector<ProcId>& active) {
-  std::vector<std::uint8_t> seen(cfg_.k, 0);
-  std::vector<ProcId> first(cfg_.k, 0);
-  for (ProcId id : active) {
-    const auto& w = tab_.pending_write[id];
-    if (!w) continue;
-    const ChannelId c = w->channel;
-    if (seen[c] != 0) throw CollisionError(now_, c, first[c], id);
-    seen[c] = 1;
-    first[c] = id;
-  }
-  MCB_CHECK(false, "write collision flagged but the id-order re-scan found "
-                   "none");
-}
-
-/// Resumes every id in `ids` (id-sorted), fanned out over stripe segments.
-/// Wake/active registrations are buffered per stripe and merged at the
-/// barrier in stripe order — which is id order — so the scheduler's
-/// next-bucket stays id-sorted by construction, exactly as in the serial
-/// engines. Exceptions abort the throwing stripe at the throw point; the
-/// lowest-stripe error is rethrown, which names the same first thrower as a
-/// serial id-order drain would.
-void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial) {
-  build_segments(ids);
-  auto task = [this, initial](std::size_t si) {
-    const Segment seg = segments_[si];
+/// Resumes every id in `ids` (id-sorted; segments_ must already describe
+/// it), fanned out over stripe segments. With apply_reads, each processor's
+/// pending read is served against the previous cycle's (still uncleared)
+/// slot state immediately before it resumes — the fused read scan. Wake
+/// registrations are buffered per stripe and merged at the barrier in
+/// stripe order — which is id order — so the scheduler's next-bucket stays
+/// id-sorted by construction, exactly as in the serial engines. Exceptions
+/// abort the throwing stripe at the throw point; the lowest-stripe error is
+/// rethrown, which names the same first thrower as a serial id-order drain
+/// would.
+void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial,
+                              bool apply_reads) {
+  auto task = [this, initial, apply_reads](std::size_t si) {
+    const Scheduler::Span seg = segments_[si];
     Stripe& s = *stripes_[seg.stripe];
     util::FrameArenaScope frame_scope(&s.arena);
     tl_stripe_ = &s;
@@ -643,7 +674,14 @@ void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial) {
     try {
       for (std::uint32_t j = seg.lo; j < seg.hi; ++j) {
         const ProcId id = due[j];
-        if (!initial) clear_intents(id);
+        if (!initial) {
+          // apply_read on a processor waking from skip() only resets its
+          // (unobservable until its next channel op) read result — same
+          // net effect as the serial engines, which reset it on the next
+          // active cycle.
+          if (apply_reads) apply_read(id);
+          clear_intents(id);
+        }
         ++s.resumes;
         tab_.resume_point[id].resume();
         if (tab_.done[id] != 0) {
@@ -660,7 +698,7 @@ void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial) {
   };
   dispatch_segments(ids.size(), task);
 
-  for (const Segment& seg : segments_) {
+  for (const Scheduler::Span& seg : segments_) {
     Stripe& s = *stripes_[seg.stripe];
     if (s.error != nullptr && pending_error_ == nullptr) {
       pending_error_ = s.error;
@@ -685,46 +723,56 @@ void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial) {
 }
 
 void Network::run_parallel_loop() {
+  const bool traced = sink_ != nullptr;
   while (alive_ > 0) {
     MCB_REQUIRE(!sched_.queue_empty(),
                 "live processors but an empty wake queue");
 
+    // Idle-cycle fast-forward, as in the event loop. A jump can only happen
+    // when no processor held a channel intent for the cycle in flight
+    // (channel ops always wake one cycle ahead), so the staging buffers are
+    // necessarily empty across a jump.
     const Cycle next = sched_.next_wake(now_);
     if (next > now_ + 1) now_ = next - 1;
     if (now_ >= cfg_.max_cycles) throw_max_cycles();
 
-    const auto& active = sched_.active();
+    // Step 1 (serial, O(writes <= k)): commit the writes of the cycle in
+    // flight, staged when their processors suspended.
+    commit_staged_writes();
 
-    if (!active.empty()) {
-      // Step 1: parallel write scan (ends at a barrier; the merge of the
-      // message deltas happens inside, before anything reads them).
-      parallel_writes(active);
-
-      // Step 2: parallel read scan. Reuses the segments parallel_writes
-      // built for the same active list; all slot state is stable here.
-      dispatch_segments(active.size(), [this](std::size_t si) {
-        const Segment seg = segments_[si];
-        const auto& ids = *segment_ids_;
-        for (std::uint32_t j = seg.lo; j < seg.hi; ++j) apply_read(ids[j]);
-      });
-
-      // Trace/conformance emission stays serial, in id order — sinks are
-      // not thread-safe and their stream is part of the identity contract.
-      if (sink_ != nullptr) {
+    // Step 2, traced runs only: a dedicated parallel read pass over the
+    // active list plus the serial trace emission — sinks are not
+    // thread-safe and their stream is part of the identity contract.
+    // Untraced runs skip both (reads fuse into step 3) and never populate
+    // the active list at all.
+    if (traced) {
+      const auto& active = sched_.active();
+      if (!active.empty()) {
+        build_segments(active);
+        dispatch_segments(active.size(), [this](std::size_t si) {
+          const Scheduler::Span seg = segments_[si];
+          const auto& ids = *segment_ids_;
+          for (std::uint32_t j = seg.lo; j < seg.hi; ++j) {
+            apply_read(ids[j]);
+          }
+        });
         for (ProcId id : active) emit_event(id);
       }
+      sched_.clear_active();
     }
+
+    // Step 3: the cycle completes; fused read + resume of everything due,
+    // stripe-merged at the barrier. The slots written this cycle stay
+    // readable until after the pass, then are cleared for the next commit.
+    ++now_;
+    const auto& due = sched_.drain_due_spans(now_, stripe_shift_, segments_);
+    segment_ids_ = &due;
+    parallel_resume(due, /*initial=*/false, /*apply_reads=*/!traced);
 
     for (ChannelId c : sched_.dirty()) {
       slot_written_[c].store(0, std::memory_order_relaxed);
     }
     sched_.clear_dirty();
-    sched_.clear_active();
-    ++now_;
-
-    // Step 3: parallel resume of everything due, stripe-merged at the
-    // barrier.
-    parallel_resume(sched_.drain_due(now_), /*initial=*/false);
   }
 }
 

@@ -25,9 +25,12 @@
 //     asserts bit-identical statistics).
 //
 //   * kParallel — the event engine's wake queue plus a persistent worker
-//     pool: each cycle's write scan, read scan and resume pass fan out over
-//     fixed processor stripes and merge deterministically at the barrier.
-//     Identical observable output for any thread count.
+//     pool: writes are staged per stripe at suspension time and committed
+//     serially in id order, and the read scan is fused into the resume pass
+//     (one barrier per cycle when untraced), fanned out over fixed
+//     processor stripes with a sticky stripe→lane affinity map and merged
+//     deterministically at the barrier. Identical observable output for any
+//     thread count.
 //
 // All engines walk the same struct-of-arrays state: per-processor hot state
 // lives in a ProcTable (mcb/proc_table.hpp) and channel slots in flat
@@ -38,7 +41,6 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -56,6 +58,7 @@
 
 namespace mcb::harness {
 class WorkerPool;  // src/harness/thread_pool.hpp; only Engine::kParallel
+class FnRef;       // non-allocating callable reference (same header)
 }  // namespace mcb::harness
 
 namespace mcb {
@@ -143,11 +146,10 @@ class Network {
 
   // Parallel-engine internals (network.cpp).
   void build_segments(const std::vector<ProcId>& ids);
-  void dispatch_segments(std::size_t n,
-                         const std::function<void(std::size_t)>& fn);
-  void parallel_writes(const std::vector<ProcId>& active);
-  [[noreturn]] void rethrow_collision(const std::vector<ProcId>& active);
-  void parallel_resume(const std::vector<ProcId>& ids, bool initial);
+  void dispatch_segments(std::size_t n, const harness::FnRef& fn);
+  void commit_staged_writes();
+  void parallel_resume(const std::vector<ProcId>& ids, bool initial,
+                       bool apply_reads);
 
   SimConfig cfg_;
   TraceSink* sink_;
@@ -183,14 +185,15 @@ class Network {
 
   // Parallel-engine per-cycle scratch (see run_parallel_loop).
   harness::WorkerPool* pool_ = nullptr;  // non-null only inside a parallel run
-  std::size_t stripe_width_ = 0;         // processor ids per stripe
-  struct Segment {
-    std::uint32_t stripe;
-    std::uint32_t lo, hi;  // index range into the id list being partitioned
-  };
-  std::vector<Segment> segments_;
+  std::size_t stripe_width_ = 0;   // processor ids per stripe (power of two)
+  std::uint32_t stripe_shift_ = 0; // log2(stripe_width_): stripe = id >> shift
+  std::vector<Scheduler::Span> segments_;
   const std::vector<ProcId>* segment_ids_ = nullptr;
-  std::atomic<std::uint8_t> collision_flag_{0};
+  // Sticky affinity: stripe s runs on pool lane stripe_lane_[s], every pass
+  // of every cycle (monotone block map, rebuilt per run from the pool
+  // width). lane_seg_ is the per-dispatch prefix-sum of segments per lane.
+  std::vector<std::uint32_t> stripe_lane_;
+  std::vector<std::size_t> lane_seg_;
   std::exception_ptr pending_error_;
   // Stripe the current thread is executing on behalf of, so the suspension
   // hooks buffer wake/active registrations locally instead of touching the

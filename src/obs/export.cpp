@@ -102,6 +102,8 @@ std::string run_stats_json(const RunStats& stats) {
      << ",\"peak_aux_words\":" << stats.max_peak_aux()
      << ",\"sim_wall_ns\":" << stats.sim_wall_ns
      << ",\"proc_resumes\":" << stats.proc_resumes
+     << ",\"threads_requested\":" << stats.threads_requested
+     << ",\"threads_effective\":" << stats.threads_effective
      << ",\"cycles_per_sec\":" << util::json_double(stats.cycles_per_sec)
      << ",\"frame_allocs\":" << stats.frame_allocs
      << ",\"frame_frees\":" << stats.frame_frees

@@ -192,6 +192,13 @@ echo "=== [tsan] serve smoke (parallel engine, reset-reuse path) ==="
   > build-tsan/serve_par_t2.json
 cmp build-tsan/serve_par_t4.json build-tsan/serve_par_t2.json
 
+# Profiling entry point: on hosts with perf the full record/report path is
+# a developer tool, not a CI stage (its numbers are machine-local), but the
+# script itself must not bitrot — listing mode exercises its argument
+# handling and the preset names it would build with, no perf needed.
+echo "=== profile.sh smoke (listing mode) ==="
+./tools/profile.sh --list
+
 # Bench gates on the optimised build. The binaries exit non-zero when an
 # enforced gate fails, which aborts CI via set -e; unenforced gates only
 # warn (check_gates below).

@@ -128,6 +128,23 @@ void print_stats_text(const RunStats& stats, std::ostream& os) {
   os << t;
 }
 
+/// Parallel-engine thread accounting for text output. The engine silently
+/// caps the request at min(hardware, stripe count); saying what actually
+/// ran keeps "--threads 64 was slower than I expected" debuggable.
+void print_thread_note(const SimConfig& cfg, const RunStats& stats,
+                       std::ostream& os) {
+  if (cfg.engine != Engine::kParallel) return;
+  os << "threads: requested "
+     << (stats.threads_requested == 0 ? std::string("0 (hardware)")
+                                      : std::to_string(stats.threads_requested))
+     << ", effective " << stats.threads_effective;
+  if (stats.threads_requested != 0 &&
+      stats.threads_effective < stats.threads_requested) {
+    os << "  [capped at min(hardware, stripe count)]";
+  }
+  os << "\n";
+}
+
 /// Shared telemetry flags (sort/select/trace). --trace-out implies --obs:
 /// the exporter needs the collectors.
 struct ObsOptions {
@@ -314,6 +331,7 @@ int cmd_sort(const util::Cli& cli) {
     std::cout << "sorted n=" << n << " over MCB(" << p << "," << k
               << ") with " << algo::to_string(res.used) << "\n";
     print_stats_text(res.run.stats, std::cout);
+    print_thread_note(cfg, res.run.stats, std::cout);
     if (obs_opts.on) print_obs_text(std::cout, res.run.stats, recorder, *timeline);
     if (do_check) std::cout << checker->report().summary();
   }
@@ -391,6 +409,7 @@ int cmd_select(const util::Cli& cli) {
     std::cout << "N[" << d << "] = " << res.value << "  ("
               << res.filter_phases << " filtering phases)\n";
     print_stats_text(res.stats, std::cout);
+    print_thread_note(cfg, res.stats, std::cout);
     if (obs_opts.on) print_obs_text(std::cout, res.stats, recorder, *timeline);
     if (do_check) std::cout << checker->report().summary();
   }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Profiles the parallel engine's hot path with Linux perf.
+#
+# Builds the `perf` CMake preset (RelWithDebInfo, -O3 -march=native, LTO
+# when the toolchain supports it — frame pointers kept so perf's call
+# graphs resolve without DWARF unwinding every sample), perf-records one
+# simspeed selection row through mcbsim, and prints the top hot symbols.
+# The default row is the parallel-gate workload (selection p=65536 k=4
+# n=262144, the point the bench gates measure), so a profile and the gate
+# numbers describe the same run.
+#
+# Usage:
+#   tools/profile.sh                 # record the default row, print top 10
+#   tools/profile.sh --p 4096 --n 16384   # any mcbsim select flag rides along
+#   tools/profile.sh --list          # show what would run; needs no perf
+#
+# --list exists for CI: tools/ci.sh smokes this script in listing mode on
+# machines without perf, so a bitrotted script fails CI even where the
+# profiler itself cannot run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOP_N=10
+OUT_DIR=build-perf
+ROW=(--p 65536 --k 4 --n 262144 --engine parallel --threads 0)
+
+list_mode=0
+extra=()
+for arg in "$@"; do
+  case "$arg" in
+    --list) list_mode=1 ;;
+    *) extra+=("$arg") ;;
+  esac
+done
+# Extra flags override the default row wholesale: mixing "--p 4096" into
+# the default geometry would profile a workload nobody asked for.
+if [ "${#extra[@]}" -gt 0 ]; then
+  ROW=("${extra[@]}" --engine parallel --threads 0)
+fi
+
+CMD=("$OUT_DIR/tools/mcbsim" select "${ROW[@]}")
+
+if [ "$list_mode" -eq 1 ]; then
+  echo "profile.sh would run:"
+  echo "  cmake --preset perf && cmake --build --preset perf -j --target mcbsim"
+  echo "  perf record -g -o $OUT_DIR/perf.data -- ${CMD[*]}"
+  echo "  perf report -i $OUT_DIR/perf.data --stdio | head  (top $TOP_N symbols)"
+  exit 0
+fi
+
+if ! command -v perf > /dev/null 2>&1; then
+  echo "error: perf not found on PATH (try --list for a dry description)" >&2
+  exit 2
+fi
+
+echo "=== [perf preset] configure + build mcbsim ==="
+cmake --preset perf
+cmake --build --preset perf -j "$(nproc)" --target mcbsim
+
+echo "=== perf record: ${CMD[*]} ==="
+perf record -g -o "$OUT_DIR/perf.data" -- "${CMD[@]}" > /dev/null
+
+echo "=== top $TOP_N hot symbols ==="
+# --percent-limit 0 keeps tiny symbols out of the cut; the sed strips
+# perf's comment preamble so exactly TOP_N symbol rows print.
+perf report -i "$OUT_DIR/perf.data" --stdio --sort symbol \
+  | sed '/^#/d;/^\s*$/d' | head -n "$TOP_N"
+echo "full profile: perf report -i $OUT_DIR/perf.data"
