@@ -278,6 +278,8 @@ RunStats Network::run() {
   if (parallel) {
     std::size_t t = cfg_.threads;
     if (t == 0) {
+      // Pool sizing only — results are byte-identical at any lane count,
+      // so host topology never reaches the model. lint-allow: nondeterminism
       const unsigned hw = std::thread::hardware_concurrency();
       t = hw == 0 ? 1 : hw;
     }
@@ -304,6 +306,7 @@ RunStats Network::run() {
       stripe_lane_[s] =
           static_cast<std::uint32_t>(s * lanes / stripes_.size());
     }
+    // mcblint: parallel-region begin
     pool_->run_static([this](std::size_t w) {
       for (std::size_t s = 0; s < stripes_.size(); ++s) {
         if (stripe_lane_[s] != w) continue;
@@ -313,6 +316,7 @@ RunStats Network::run() {
         if (sink_ != nullptr) st.active.reserve(stripe_width_);
       }
     });
+    // mcblint: parallel-region end
   }
 
   // Route coroutine frame allocations (Task subroutine frames created by
@@ -326,6 +330,8 @@ RunStats Network::run() {
     frame_scope = std::make_unique<util::FrameArenaScope>(&arena_);
   }
 
+  // Wall-clock telemetry (stats_.sim_wall_ns), never a protocol input —
+  // the sim clock is the cycle counter. lint-allow: nondeterminism
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Initial resume: run every program up to its first cycle boundary.
@@ -361,6 +367,7 @@ RunStats Network::run() {
   stats_.peak_aux_words = tab_.peak_aux_words;
 
   const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           // lint-allow: nondeterminism (host telemetry)
                            std::chrono::steady_clock::now() - wall_start)
                            .count();
   stats_.sim_wall_ns = static_cast<std::uint64_t>(wall_ns);
@@ -621,9 +628,11 @@ void Network::dispatch_segments(std::size_t total_items,
     ++lane_seg_[stripe_lane_[seg.stripe] + 1];
   }
   for (std::size_t w = 0; w < lanes; ++w) lane_seg_[w + 1] += lane_seg_[w];
+  // mcblint: parallel-region begin
   pool_->run_static([this, &fn](std::size_t w) {
     for (std::size_t si = lane_seg_[w]; si < lane_seg_[w + 1]; ++si) fn(si);
   });
+  // mcblint: parallel-region end
 }
 
 /// Serial commit of the writes staged during the previous resume pass,
@@ -665,6 +674,12 @@ void Network::commit_staged_writes() {
 /// would.
 void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial,
                               bool apply_reads) {
+  // The per-stripe resume task is the one region that legitimately writes
+  // an engine member: the thread-local stripe cursor protocol code routes
+  // its staging through. Everything else it touches is reached through the
+  // per-stripe `Stripe& s` or is a per-id column of the proc table that
+  // only this stripe's ids index.
+  // mcblint: parallel-region begin allow=tl_stripe_
   auto task = [this, initial, apply_reads](std::size_t si) {
     const Scheduler::Span seg = segments_[si];
     Stripe& s = *stripes_[seg.stripe];
@@ -696,6 +711,7 @@ void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial,
     }
     tl_stripe_ = nullptr;
   };
+  // mcblint: parallel-region end
   dispatch_segments(ids.size(), task);
 
   for (const Scheduler::Span& seg : segments_) {
@@ -749,6 +765,7 @@ void Network::run_parallel_loop() {
       const auto& active = sched_.active();
       if (!active.empty()) {
         build_segments(active);
+        // mcblint: parallel-region begin
         dispatch_segments(active.size(), [this](std::size_t si) {
           const Scheduler::Span seg = segments_[si];
           const auto& ids = *segment_ids_;
@@ -756,6 +773,7 @@ void Network::run_parallel_loop() {
             apply_read(ids[j]);
           }
         });
+        // mcblint: parallel-region end
         for (ProcId id : active) emit_event(id);
       }
       sched_.clear_active();

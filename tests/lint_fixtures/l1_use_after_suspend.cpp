@@ -1,0 +1,70 @@
+// MCB-L1 fixture: references/pointers bound to temporaries or stack
+// locals and used across a suspension point. Never compiled — mcblint
+// reads it as text; tests/mcblint_test.cpp asserts exact (rule, line)
+// pairs, so line positions in this file are load-bearing.
+#include <vector>
+
+struct Proc {
+  int id() const;
+};
+struct Awaitable {
+  bool await_ready();
+};
+Awaitable suspend();
+std::vector<int> make_values();
+
+struct Task {};
+
+Task bad_temp_ref(Proc& self) {
+  const std::vector<int>& vals = make_values();  // binds a temporary
+  co_await suspend();
+  (void)vals.size();  // line 21: L1 — temporary used after suspend
+  co_return;
+}
+
+Task bad_stack_ptr(Proc& self) {
+  int local = 7;
+  int* p = &local;
+  co_await suspend();
+  *p = 9;  // line 29: L1 — pointer to stack local used after suspend
+  co_return;
+}
+
+Task bad_local_ref(Proc& self) {
+  int acc = 0;
+  auto& r = acc;
+  co_await suspend();
+  r += 1;  // line 37: L1 — reference to stack local used after suspend
+  co_return;
+}
+
+Task ok_use_before_suspend(Proc& self) {
+  const std::vector<int>& vals = make_values();
+  const int n = static_cast<int>(vals.size());  // use precedes the suspend
+  co_await suspend();
+  (void)n;  // the copy is what crosses the suspension point
+  co_return;
+}
+
+struct Table {
+  std::vector<int> column;
+};
+
+Task ok_member_and_param_roots(Proc& self, Table& tab) {
+  auto& col = tab.column;  // parameter-rooted: outlives the frame
+  co_await suspend();
+  (void)col.size();
+  int scratch = self.id();  // param-rooted value, never a ref
+  co_await suspend();
+  (void)scratch;
+  co_return;
+}
+
+Task ok_scope_closed_before_suspend(Proc& self) {
+  {
+    const std::vector<int>& vals = make_values();
+    (void)vals.size();
+  }  // the reference dies with its scope, before any suspension
+  co_await suspend();
+  co_return;
+}

@@ -1,0 +1,39 @@
+// MCB-L2 fixture: nondeterminism sources in protocol/engine code. Line
+// positions are asserted by tests/mcblint_test.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <thread>
+
+int protocol_noise() {
+  int x = rand();  // line 9: L2 — C PRNG
+  std::random_device rd;  // line 10: L2 — host entropy
+  x += static_cast<int>(rd());
+  return x;
+}
+
+long wall_clock_leak() {
+  const auto t0 = std::chrono::steady_clock::now();  // line 16: L2
+  const auto t1 =
+      std::chrono::high_resolution_clock::now();  // line 18: L2
+  return (t1 - t0).count() + time(nullptr);  // line 19: L2 — C time source
+}
+
+unsigned host_topology() {
+  // line 24 below: L2 — thread count must not shape results
+  unsigned n = std::thread::hardware_concurrency();
+  std::this_thread::yield();  // line 25: L2 — host scheduling state
+  return n;
+}
+
+// None of the following may fire: rand() in comments, strings or member
+// position is not a PRNG call. (Declaring a *method* named rand() would
+// fire — a deliberate rule limitation; seeded RNG wrappers here use
+// draw()/next() names.)
+struct Rng;
+int not_noise(Rng& rng) {
+  const char* s = "rand() and steady_clock::now() in a string";
+  int a = rng.rand();      // member call, not the C PRNG
+  long b = rng.time(0);    // member call, not the C time source
+  return a + static_cast<int>(b) + static_cast<int>(sizeof s);
+}

@@ -1,0 +1,44 @@
+// MCB-L3 fixture: range-for over unordered containers leaks hash-order
+// nondeterminism. Lines are asserted by tests/mcblint_test.cpp.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Index {
+  std::unordered_map<int, std::string> by_id;
+};
+
+int iterate_member(const Index& idx) {
+  int n = 0;
+  for (const auto& [k, v] : idx.by_id) {  // line 15: L3
+    n += k + static_cast<int>(v.size());
+  }
+  return n;
+}
+
+int iterate_local() {
+  std::unordered_set<int> seen{1, 2, 3};
+  int n = 0;
+  for (int v : seen) {  // line 24: L3
+    n += v;
+  }
+  return n;
+}
+
+// Fine: ordered containers, and sorting an unordered container's contents
+// into a vector before iterating.
+int iterate_sorted(const Index& idx) {
+  std::vector<int> keys;
+  for (int v : std::vector<int>{3, 1, 2}) {
+    keys.push_back(v);
+  }
+  keys.reserve(idx.by_id.size());
+  std::sort(keys.begin(), keys.end());
+  int n = 0;
+  for (int k : keys) {
+    n += k;
+  }
+  return n;
+}

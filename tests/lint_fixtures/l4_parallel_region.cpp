@@ -1,0 +1,41 @@
+// MCB-L4 fixture: engine-member writes inside fenced parallel regions.
+// Lines are asserted by tests/mcblint_test.cpp.
+#include <cstddef>
+#include <vector>
+
+struct Stripe {
+  std::vector<int> staged;
+  int resumes = 0;
+};
+
+class Engine {
+ public:
+  void cycle(std::size_t w);
+
+ private:
+  int cursor_ = 0;
+  int bad_ = 0;
+  std::vector<int> buf_;
+  std::vector<Stripe> stripes_;
+  int counter_ = 0;
+};
+
+void Engine::cycle(std::size_t w) {
+  // mcblint: parallel-region begin allow=cursor_
+  {
+    Stripe& s = stripes_[w];  // reading engine members is fine
+    cursor_ = static_cast<int>(w);  // allowed by the region's allow list
+    bad_ = 1;  // line 28: L4 — off-allowlist member write
+    buf_.push_back(3);  // line 29: L4 — mutating call on a member
+    ++counter_;  // line 30: L4 — increment is a write
+    s.resumes += 1;    // per-stripe state via a local ref: fine
+    s.staged.clear();  // same
+  }
+  // mcblint: parallel-region end
+
+  bad_ = 2;  // outside the fence: the serial merge phase may write freely
+  counter_++;
+}
+
+// line 41 below: L4 — an end marker with no begin is itself a finding
+// mcblint: parallel-region end

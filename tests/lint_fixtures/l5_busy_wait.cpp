@@ -1,0 +1,47 @@
+// MCB-L5 fixture: busy-wait step() loops, in every textual shape the old
+// awk rule could miss. Lines are asserted by tests/mcblint_test.cpp.
+struct Proc {
+  int step();
+  int skip(long t);
+  bool active() const;
+  long now() const;
+};
+
+struct Task {};
+
+Task single_line(Proc& self, long t) {
+  while (self.now() < t) co_await self.step();  // line 13: L5
+  co_return;
+}
+
+Task braced_same_line(Proc& self, long t) {
+  while (self.now() < t) { co_await self.step(); }  // line 18: L5
+  co_return;
+}
+
+Task multi_line(Proc& self, long t) {
+  while (self.now() < t) {
+    co_await self.step();  // line 24: L5
+  }
+  co_return;
+}
+
+Task for_loop(Proc& self, long t) {
+  for (long i = 0; i < t; ++i) {
+    // a comment inside the body must not hide the pattern
+    co_await self.step();  // line 32: L5
+  }
+  co_return;
+}
+
+// Fine: per-cycle participation inside a larger body, and the skip() the
+// rule is pushing people toward.
+Task legit(Proc& self, long t) {
+  while (self.now() < t) {
+    co_await self.step();
+    if (self.active()) co_return;
+  }
+  co_await self.skip(t);
+  // while (self.now() < t) co_await self.step();  <- commented out: fine
+  co_return;
+}

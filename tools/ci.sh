@@ -7,11 +7,15 @@
 # default — not just the optimised build; the MCB_FRAME_ARENA=OFF preset
 # proves the global-new fallback builds and passes the same suite.
 #
-# Two static-analysis legs ride along: tools/lint.sh (clang-tidy profile
-# plus the repo-specific rules) runs against the release tree's
-# compile_commands.json, and a ThreadSanitizer build runs the harness /
-# thread-pool suite — the one genuinely multi-threaded subsystem — plus a
-# checked sweep smoke.
+# Static analysis rides along in three places: tools/lint.sh (mcblint, the
+# repo-aware analyzer with rules MCB-L1..L6, plus the clang-tidy profile)
+# runs against the release tree's compile_commands.json with the same 0/1/3
+# exit discipline as `mcbsim gates` (3 = a tool could not run here — loud
+# warning, not silent pass); every preset leg re-runs that preset's own
+# mcblint binary and cmp's two --json runs (the linter is held to the same
+# byte-determinism contract as the engines it audits); and a
+# ThreadSanitizer build runs the harness / thread-pool suite — the one
+# genuinely multi-threaded subsystem — plus a checked sweep smoke.
 #
 # Each suite leg also smokes the telemetry layer end-to-end: --obs runs
 # (span reconciliation is a hard failure), a --trace-out export, and the
@@ -109,6 +113,23 @@ run_preset() {
   cmp "$builddir/serve_event.json" "$builddir/serve_reference.json"
   cmp "$builddir/serve_event.json" "$builddir/serve_par_t1.json"
   cmp "$builddir/serve_event.json" "$builddir/serve_par_t4.json"
+  run_mcblint_leg "$preset" "$builddir"
+}
+
+# Runs this build tree's own mcblint binary over the lint wall's scan set
+# (exit 1 on findings aborts CI via set -e), then holds the linter to the
+# repo's determinism contract: two --json runs must be byte-identical.
+run_mcblint_leg() {
+  local preset="$1"
+  local builddir="$2"
+  echo "=== [$preset] mcblint (repo rules + two-run JSON determinism) ==="
+  "$builddir/tools/mcblint/mcblint" --root . \
+    --baseline tools/mcblint/baseline.txt --json \
+    src bench tools/mcbsim.cpp tools/mcblint > "$builddir/mcblint_a.json"
+  "$builddir/tools/mcblint/mcblint" --root . \
+    --baseline tools/mcblint/baseline.txt --json \
+    src bench tools/mcbsim.cpp tools/mcblint > "$builddir/mcblint_b.json"
+  cmp "$builddir/mcblint_a.json" "$builddir/mcblint_b.json"
 }
 
 # Validates a bench artifact's gates with `mcbsim gates`: a strict JSON
@@ -152,11 +173,25 @@ check_gates() {
 
 run_preset release build-release
 
-# Static-analysis wall, as soon as a compile_commands.json exists. lint.sh
-# fails this script on any finding; when clang-tidy is missing on the host
-# it loudly skips that half and still enforces the repo rules.
-echo "=== lint (clang-tidy profile + repo rules) ==="
-./tools/lint.sh build-release
+# Static-analysis wall, as soon as a build tree exists. lint.sh exits 0
+# clean / 1 findings / 3 tool-missing-warn: findings fail CI, 3 means every
+# check that ran is clean but a tool was unavailable here — the same
+# loud-warning policy as unenforceable bench gates.
+echo "=== lint (mcblint + clang-tidy profile) ==="
+lint_rc=0
+./tools/lint.sh build-release || lint_rc=$?
+case "$lint_rc" in
+  0) ;;
+  3)
+    echo "WARNING: lint wall incomplete on this machine — some tools" \
+         "could not run (see lint output above)" >&2
+    WARNINGS=$((WARNINGS + 1))
+    ;;
+  *)
+    echo "FAIL: lint reported findings (exit $lint_rc)" >&2
+    exit 1
+    ;;
+esac
 
 run_preset asan-ubsan build-asan
 run_preset noarena build-noarena
@@ -171,7 +206,7 @@ echo "=== [tsan] configure ==="
 cmake --preset tsan
 echo "=== [tsan] build (harness + equivalence suites + CLI) ==="
 cmake --build --preset tsan -j "$JOBS" \
-  --target harness_test scheduler_equivalence_test mcbsim
+  --target harness_test scheduler_equivalence_test mcbsim mcblint
 echo "=== [tsan] harness / thread-pool / engine-equivalence suites ==="
 ctest --preset tsan
 echo "=== [tsan] checked parallel sweep smoke ==="
@@ -191,6 +226,7 @@ echo "=== [tsan] serve smoke (parallel engine, reset-reuse path) ==="
   --batch 8 --seed 7 --verify --engine parallel --threads 2 --json \
   > build-tsan/serve_par_t2.json
 cmp build-tsan/serve_par_t4.json build-tsan/serve_par_t2.json
+run_mcblint_leg tsan build-tsan
 
 # Profiling entry point: on hosts with perf the full record/report path is
 # a developer tool, not a CI stage (its numbers are machine-local), but the

@@ -1,47 +1,85 @@
 #!/usr/bin/env bash
-# Static-analysis wall: clang-tidy (profile in .clang-tidy) plus the
-# repo-specific lint rules, over src/. Run by tools/ci.sh; exits non-zero on
-# any finding.
+# Static-analysis wall: mcblint (the repo-aware analyzer, tools/mcblint/,
+# rules MCB-L1..L6 — see docs/LINT.md) plus the clang-tidy profile in
+# .clang-tidy, over the library, tools and bench sources. Run by
+# tools/ci.sh on every preset leg.
 #
 #   usage: tools/lint.sh [compile-commands-dir]
 #
-# clang-tidy needs a compile_commands.json (every configured build tree has
-# one — CMAKE_EXPORT_COMPILE_COMMANDS is ON globally). The first existing of
-# [argument, build, build-release] is used. When clang-tidy itself is not
-# installed, that half is SKIPPED with a loud warning — mirroring the
-# unenforced-bench-gate policy: a machine that cannot run a check must say
-# so visibly, never silently pass it.
+# Exit discipline (mirrors `mcbsim gates`):
 #
-# Repo-specific rules (always run; no toolchain dependency):
+#   0  clean — the enforced checks ran and passed
+#   1  findings — mcblint or clang-tidy reported at least one problem
+#   3  tool-missing-warn — no findings, but the ENFORCED analyzer could not
+#      run: no mcblint binary exists in any configured build tree. ci.sh
+#      surfaces 3 as a loud WARNING: a machine that cannot run the check
+#      must say so visibly, never silently pass.
 #
-#   busy-wait-step  A while/for loop whose body is only `co_await
-#                   ...step();` burns O(t) simulation work where Proc::skip
-#                   is O(1) — the anti-pattern PR 1 converted out of the
-#                   library. Legitimate per-cycle participation inside a
-#                   larger loop body is untouched.
-#   naked-new       Protocol/coroutine code must not allocate with naked
-#                   `new`: coroutine frames route through the frame arena
-#                   (util/arena.hpp) and everything else owns memory via
-#                   containers/smart pointers. Placement new and `operator
-#                   new` definitions are exempt; a deliberate exception
-#                   carries a `lint-allow: naked-new` comment.
+# mcblint is the enforced half (its rules need no external toolchain, only
+# the repo's own build): the binary is searched across the configured build
+# trees. clang-tidy is best-effort with the long-standing loud-skip policy
+# — when it or its compile_commands.json is unavailable that half is
+# SKIPPED with a loud warning and does not affect the exit code. The first
+# existing database of [argument, build, build-release, build-tsan,
+# build-perf] is used.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
-FAILURES=0
-WARNINGS=0
+FINDINGS=0
+MISSING=0
+SKIPPED=0
 
-# --- clang-tidy ------------------------------------------------------------
+# Sources the wall covers. tests/ is excluded: tests/lint_fixtures/ exists
+# to fire the rules (tests/mcblint_test.cpp asserts the exact findings).
+LINT_PATHS=(src bench tools/mcbsim.cpp tools/mcblint)
+
+# --- mcblint: repo rules MCB-L1..L6 -----------------------------------------
+
+run_mcblint() {
+  local bin=""
+  for d in "${1:-}" build build-release build-tsan build-perf build-asan \
+           build-noarena; do
+    if [ -n "$d" ] && [ -x "$d/tools/mcblint/mcblint" ]; then
+      bin="$d/tools/mcblint/mcblint"
+      break
+    fi
+  done
+  if [ -z "$bin" ]; then
+    echo "WARNING: no mcblint binary in any configured build tree — the" \
+         "repo rules MCB-L1..L6 DID NOT RUN (build one first, e.g." \
+         "cmake --build build --target mcblint)" >&2
+    MISSING=$((MISSING + 1))
+    return 0
+  fi
+  echo "=== mcblint (repo rules MCB-L1..L6; binary: $bin) ==="
+  local rc=0
+  "$bin" --root . --baseline tools/mcblint/baseline.txt \
+    "${LINT_PATHS[@]}" || rc=$?
+  case "$rc" in
+    0) ;;
+    1)
+      echo "lint: mcblint reported findings — fix, lint-allow with a" \
+           "justification, or (exceptionally) baseline (docs/LINT.md)" >&2
+      FINDINGS=$((FINDINGS + 1))
+      ;;
+    *)
+      echo "lint: mcblint failed to run (exit $rc)" >&2
+      FINDINGS=$((FINDINGS + 1))
+      ;;
+  esac
+}
+
+# --- clang-tidy --------------------------------------------------------------
 
 run_clang_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "WARNING: clang-tidy is not installed — the clang-tidy half of the" \
-         "lint wall DID NOT RUN on this machine (repo lint still enforced)" >&2
-    WARNINGS=$((WARNINGS + 1))
+         "lint wall DID NOT RUN on this machine (mcblint still enforced)" >&2
+    SKIPPED=$((SKIPPED + 1))
     return 0
   fi
   local ccdir=""
-  for d in "${1:-}" build build-release; do
+  for d in "${1:-}" build build-release build-tsan build-perf; do
     if [ -n "$d" ] && [ -f "$d/compile_commands.json" ]; then
       ccdir="$d"
       break
@@ -50,119 +88,40 @@ run_clang_tidy() {
   if [ -z "$ccdir" ]; then
     echo "WARNING: no compile_commands.json found (configure a build tree" \
          "first, e.g. cmake --preset default) — clang-tidy DID NOT RUN" >&2
-    WARNINGS=$((WARNINGS + 1))
+    SKIPPED=$((SKIPPED + 1))
     return 0
   fi
-  echo "=== clang-tidy (database: $ccdir) ==="
-  local rc=0
-  # One process over all TUs keeps include parsing warm; --quiet suppresses
-  # the per-file banner noise but not findings.
-  if ! clang-tidy -p "$ccdir" --quiet $(find src -name '*.cpp' | sort); then
-    rc=1
-  fi
+  echo "=== clang-tidy (database: $ccdir; $(nproc)-way parallel) ==="
+  local start end rc=0
+  start=$(date +%s)
+  # One clang-tidy process per TU, file-parallel across the machine: TUs are
+  # independent, so this scales where the old single-process run serialized.
+  # xargs exits non-zero iff any invocation reported findings or failed.
+  find src -name '*.cpp' | sort \
+    | xargs -P "$(nproc)" -n 1 clang-tidy -p "$ccdir" --quiet || rc=$?
+  end=$(date +%s)
+  echo "clang-tidy wall time: $((end - start))s"
   if [ "$rc" -ne 0 ]; then
     echo "lint: clang-tidy reported findings" >&2
-    FAILURES=$((FAILURES + 1))
+    FINDINGS=$((FINDINGS + 1))
   fi
 }
 
-# --- repo lint: busy-wait step() loops -------------------------------------
-
-# Flags while/for loops whose entire body is a bare `co_await ...step();`:
-#   while (cond) co_await self.step();
-#   while (cond) { co_await self.step(); }
-#   while (cond) {
-#     co_await self.step();
-#   }
-check_busy_wait() {
-  echo "=== repo lint: busy-wait step() loops ==="
-  local found=0
-  while IFS= read -r file; do
-    local hits
-    hits=$(awk '
-      function report(line, text) {
-        printf "%s:%d: busy-wait loop around step(): %s\n", FILENAME, line, text
-      }
-      {
-        # Strip // comments so commented-out code never trips the rule.
-        line = $0
-        sub(/\/\/.*$/, "", line)
-      }
-      # Single-line forms, braced or not.
-      /^[[:space:]]*(while|for)[[:space:]]*\(/ &&
-      line ~ /co_await[^;]*\.step\(\);[[:space:]]*\}?[[:space:]]*$/ {
-        report(NR, $0); next
-      }
-      # Multi-line form: header ending in "{", body that is only the
-      # step() await, then a lone "}".  Runs before the window shift so
-      # prev2/prev1 still hold the two preceding lines.
-      /^[[:space:]]*\}[[:space:]]*$/ {
-        if (prev2 ~ /^[[:space:]]*(while|for)[[:space:]]*\(.*\{[[:space:]]*$/ &&
-            prev2nr == NR - 2 &&
-            prev1 ~ /^[[:space:]]*co_await[^;]*\.step\(\);[[:space:]]*$/) {
-          report(prev1nr, prev1)
-        }
-      }
-      {
-        prev2 = prev1; prev2nr = prev1nr
-        prev1 = line; prev1nr = NR
-      }
-    ' "$file")
-    if [ -n "$hits" ]; then
-      echo "$hits" >&2
-      found=1
-    fi
-  done < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
-  if [ "$found" -ne 0 ]; then
-    echo "lint: convert busy-wait step() loops to Proc::skip(t) — O(1)" \
-         "simulation work instead of O(t) (see docs/ENGINE.md)" >&2
-    FAILURES=$((FAILURES + 1))
-  fi
-}
-
-# --- repo lint: naked new in protocol/coroutine code -----------------------
-
-check_naked_new() {
-  echo "=== repo lint: naked new outside the arena ==="
-  local found=0
-  local hits
-  hits=$(awk '
-    /lint-allow: naked-new/ { next }
-    /operator new/ { next }
-    {
-      line = $0
-      sub(/\/\/.*$/, "", line)
-      # Placement new never takes ownership: `new (addr) T` / `::new (...)`.
-      if (line ~ /(^|[^[:alnum:]_])new[[:space:]]+[A-Za-z_]/ &&
-          line !~ /new[[:space:]]*\(/) {
-        printf "%s:%d: naked new in protocol code: %s\n", FILENAME, NR, $0
-      }
-    }
-  ' $(find src/mcb src/algo src/se src/sched src/check src/harness \
-        -name '*.cpp' -o -name '*.hpp' | sort))
-  if [ -n "$hits" ]; then
-    echo "$hits" >&2
-    echo "lint: allocate through containers / the frame arena" \
-         "(util/arena.hpp); annotate deliberate exceptions with" \
-         "\"lint-allow: naked-new\"" >&2
-    found=1
-  fi
-  if [ "$found" -ne 0 ]; then
-    FAILURES=$((FAILURES + 1))
-  fi
-}
-
+run_mcblint "${1:-}"
 run_clang_tidy "${1:-}"
-check_busy_wait
-check_naked_new
 
-if [ "$FAILURES" -gt 0 ]; then
-  echo "LINT FAILED: $FAILURES rule group(s) reported findings" >&2
+if [ "$FINDINGS" -gt 0 ]; then
+  echo "LINT FAILED: $FINDINGS check(s) reported findings" >&2
   exit 1
 fi
-if [ "$WARNINGS" -gt 0 ]; then
-  echo "LINT OK with $WARNINGS WARNING(s): repo lint clean; some tools" \
-       "were unavailable on this machine (see warnings above)"
+if [ "$MISSING" -gt 0 ]; then
+  echo "LINT INCOMPLETE: the enforced analyzer (mcblint) could not run on" \
+       "this machine (see the warning above)" >&2
+  exit 3
+fi
+if [ "$SKIPPED" -gt 0 ]; then
+  echo "LINT OK with $SKIPPED WARNING(s): mcblint clean; the best-effort" \
+       "clang-tidy half was unavailable on this machine (see above)"
 else
-  echo "LINT OK: clang-tidy and repo lint clean"
+  echo "LINT OK: mcblint and clang-tidy clean"
 fi

@@ -1,0 +1,237 @@
+#include "mcblint/scanner.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string_view>
+
+namespace mcblint {
+
+namespace {
+
+constexpr std::size_t npos = Scan::npos;
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+const std::set<std::string, std::less<>>& control_keywords() {
+  static const std::set<std::string, std::less<>> kw{
+      "if", "while", "for", "switch", "catch"};
+  return kw;
+}
+
+/// Declared parameter names between tokens (open, close) of a parameter
+/// list: for each top-level comma-separated piece, the last identifier
+/// before a default-argument '=' (or the end). Unnamed parameters yield
+/// their type's last word, which is harmless — it can never collide with
+/// a local variable use.
+std::vector<std::string> parse_params(const std::vector<Token>& toks,
+                                      std::size_t open, std::size_t close) {
+  std::vector<std::string> names;
+  std::string last_ident;
+  int depth = 0;       // (), [], {}
+  int angle = 0;       // best-effort <> balance inside a param list
+  bool in_default = false;
+  auto flush = [&] {
+    if (!last_ident.empty()) names.push_back(last_ident);
+    last_ident.clear();
+    in_default = false;
+  };
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      else if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      else if (t.text == "<") ++angle;
+      else if (t.text == ">" && angle > 0) --angle;
+      else if (t.text == "," && depth == 0 && angle == 0) flush();
+      else if (t.text == "=" && depth == 0 && angle == 0) in_default = true;
+      continue;
+    }
+    if (t.kind == TokKind::kIdent && depth == 0 && angle == 0 &&
+        !in_default) {
+      last_ident = t.text;
+    }
+  }
+  flush();
+  return names;
+}
+
+/// Classifier for a '{' at token index i. Returns true when it opens a
+/// function or lambda body, filling *out (params/lambda).
+bool classify_body(const std::vector<Token>& toks,
+                   const std::vector<std::size_t>& match, std::size_t i,
+                   Body* out) {
+  if (i == 0) return false;
+  std::size_t j = i - 1;
+
+  // Skip a trailing-return type: `) -> Type {`. Walk back over the type
+  // words to the `->`, then resume the normal scan before it.
+  {
+    std::size_t k = j;
+    int steps = 0;
+    while (k > 0 && steps < 48) {
+      const Token& t = toks[k];
+      const bool type_tok =
+          t.kind == TokKind::kIdent ||
+          (t.kind == TokKind::kPunct &&
+           (t.text == "::" || t.text == "<" || t.text == ">" ||
+            t.text == "," || t.text == "*" || t.text == "&"));
+      if (!type_tok) break;
+      --k;
+      ++steps;
+    }
+    if (k > 0 && k < j && is_punct(toks[k], "->")) j = k - 1;
+  }
+
+  // Walk back over specifier suffixes and constructor init lists until we
+  // can see what precedes the (last) parenthesized group.
+  int hops = 0;
+  while (hops++ < 64) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "const" || t.text == "override" || t.text == "final" ||
+         t.text == "mutable" || t.text == "noexcept" ||
+         t.text == "constexpr")) {
+      if (j == 0) return false;
+      --j;
+      continue;
+    }
+    if (is_punct(t, ")")) {
+      const std::size_t open = match[j];
+      if (open == npos || open == 0) return false;
+      const Token& pre = toks[open - 1];
+      if (pre.kind == TokKind::kIdent &&
+          control_keywords().count(pre.text) > 0) {
+        return false;  // if/while/for/switch/catch (...) {
+      }
+      if (is_ident(pre, "constexpr")) return false;  // if constexpr (...)
+      if (is_ident(pre, "noexcept")) {
+        // `) noexcept(expr) {` — skip the group, keep walking back.
+        if (open - 1 == 0) return false;
+        j = open - 2;
+        continue;
+      }
+      if (is_punct(pre, "]")) {
+        // [captures](params) ... {
+        out->lambda = true;
+        out->params = parse_params(toks, open, j);
+        return true;
+      }
+      if (is_punct(pre, ")")) {
+        // `operator()(params)` — the inner group is the declarator's ().
+        const std::size_t open2 = match[open - 1];
+        if (open2 != npos && open2 > 0 &&
+            is_ident(toks[open2 - 1], "operator")) {
+          out->params = parse_params(toks, open, j);
+          return true;
+        }
+        return false;  // call-expression followed by braced init
+      }
+      if (pre.kind == TokKind::kIdent || is_punct(pre, ">") ||
+          is_punct(pre, "::")) {
+        // Either `name(params) {` — a function — or a constructor
+        // init-list entry `: member(expr) {`; both open a function body.
+        out->params = parse_params(toks, open, j);
+        return true;
+      }
+      return false;
+    }
+    if (is_punct(t, "]")) {
+      // `[captures] {` — a lambda with no parameter list, provided the
+      // intro position can't be an array subscript.
+      const std::size_t open = match[j];
+      if (open == npos) return false;
+      if (open == 0) {
+        out->lambda = true;
+        return true;
+      }
+      const Token& pre = toks[open - 1];
+      if (pre.kind == TokKind::kPunct &&
+          (pre.text == "(" || pre.text == "," || pre.text == "=" ||
+           pre.text == "{" || pre.text == ";" || pre.text == "&&" ||
+           pre.text == "||" || pre.text == "?" || pre.text == ":")) {
+        out->lambda = true;
+        return true;
+      }
+      if (pre.kind == TokKind::kIdent && pre.text == "return") {
+        out->lambda = true;
+        return true;
+      }
+      return false;
+    }
+    break;
+  }
+  return false;
+}
+
+}  // namespace
+
+Scan scan(const LexedFile& f) {
+  const std::vector<Token>& toks = f.tokens;
+  Scan out;
+  out.match.assign(toks.size(), npos);
+  out.body_of.assign(toks.size(), npos);
+
+  // Bracket matching. A stray closer (macro artifacts) is left unmatched
+  // rather than popping an unrelated opener.
+  std::vector<std::size_t> stack;
+  auto opener_for = [](const std::string& s) -> char {
+    if (s == ")") return '(';
+    if (s == "]") return '[';
+    return '{';
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      stack.push_back(i);
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      const char want = opener_for(t.text);
+      if (!stack.empty() && toks[stack.back()].text[0] == want) {
+        out.match[stack.back()] = i;
+        out.match[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Body discovery, in token order (so bodies are sorted by `open` and
+  // nested bodies follow their parents).
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "{") || out.match[i] == npos) continue;
+    Body b;
+    if (classify_body(toks, out.match, i, &b)) {
+      b.open = i;
+      b.close = out.match[i];
+      out.bodies.push_back(std::move(b));
+    }
+  }
+
+  // Innermost-body attribution + coroutine detection in one sweep.
+  std::vector<std::size_t> body_stack;
+  std::size_t next_body = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    while (!body_stack.empty() && i > out.bodies[body_stack.back()].close) {
+      body_stack.pop_back();
+    }
+    if (next_body < out.bodies.size() &&
+        out.bodies[next_body].open == i) {
+      body_stack.push_back(next_body);
+      ++next_body;
+    }
+    if (!body_stack.empty()) out.body_of[i] = body_stack.back();
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent && !body_stack.empty() &&
+        (t.text == "co_await" || t.text == "co_return" ||
+         t.text == "co_yield")) {
+      out.bodies[body_stack.back()].coroutine = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace mcblint
