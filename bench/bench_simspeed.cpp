@@ -51,6 +51,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -59,10 +60,16 @@
 #include "algo/selection.hpp"
 #include "algo/sort.hpp"
 #include "bench_common.hpp"
+#include "obs/profiler.hpp"
 #include "util/workload.hpp"
 
 namespace mcb::bench {
 namespace {
+
+// --profile attaches this flight recorder to every parallel-engine run (the
+// serial engines have no barriers to time). Host-side only: the gates and
+// the JSON artifact are computed from the same RunStats either way.
+obs::Profiler* g_profiler = nullptr;
 
 constexpr std::size_t kReps = 3;
 
@@ -142,6 +149,7 @@ const char* engine_json_name(Engine e) {
 RunStats run_point(const GridPoint& pt, Engine engine) {
   SimConfig cfg{.p = pt.p, .k = pt.k};
   cfg.engine = engine;  // kParallel keeps threads = 0: all hardware threads
+  if (engine == Engine::kParallel) cfg.profiler = g_profiler;
   const auto w = util::make_workload(pt.n, pt.p, util::Shape::kEven, 42);
   if (pt.bench == "sort") {
     auto res = algo::sort(cfg, w.inputs);
@@ -253,7 +261,8 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
   }
   // The big row's disposition, run or skipped — a reader diffing artifacts
   // across machines sees *why* the p=2^20 row is absent, not just that it
-  // is. (No "enforced" member: this is a note, not a gate.)
+  // is. (No "enforced" member here: the gates array carries the matching
+  // big_row_p2_20 coverage entry that `mcbsim gates` scans.)
   out << "  ],\n  \"big_row\": {\"bench\": \"" << huge.pt.bench
       << "\", \"p\": " << huge.pt.p << ", \"k\": " << huge.pt.k
       << ", \"n\": " << huge.pt.n << ", \"engine\": \"parallel\", \"reps\": 1"
@@ -306,7 +315,16 @@ void write_json(const std::vector<Row>& rows, const Row& headline,
       << ", \"measured_ratio\": " << hotpath_ratio
       << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ", \"enforced\": " << (parallel_enforced ? "true" : "false")
-      << ", \"passed\": " << (hotpath_passed ? "true" : "false") << "}\n"
+      << ", \"passed\": " << (hotpath_passed ? "true" : "false") << "},\n"
+      // Coverage gate for the p=2^20 row: when the budget guard skipped it,
+      // this stub reports enforced=false so `mcbsim gates` exits 3 and the
+      // missing megaprocessor data point is surfaced, not silently absent.
+      << "    {\"name\": \"big_row_p2_20\", \"bench\": \"" << huge.pt.bench
+      << "\", \"p\": " << huge.pt.p << ", \"k\": " << huge.pt.k
+      << ", \"budget_wall_ns\": " << kBigRowBudgetWallNs
+      << ", \"p65536_parallel_wall_ns\": " << huge.gate_wall_ns
+      << ", \"enforced\": " << (huge.ran ? "true" : "false")
+      << ", \"passed\": " << (huge.ran ? "true" : "false") << "}\n"
       << "  ]\n}\n";
 }
 
@@ -317,7 +335,20 @@ int main(int argc, char** argv) {
   using namespace mcb;
   using namespace mcb::bench;
 
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_simspeed.json";
+  std::string json_path = "BENCH_simspeed.json";
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--profile") {
+      profile = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  std::optional<obs::Profiler> prof;
+  if (profile) {
+    prof.emplace();
+    g_profiler = &*prof;
+  }
 
   // Sort stresses dense cycles (most processors participate every cycle);
   // selection stresses the wake queue and the idle-cycle fast-forward (at
@@ -501,6 +532,11 @@ int main(int argc, char** argv) {
               << hotpath << ", only " << hotpath_ratio
               << "x over the PR-6 baseline)\n";
     return 1;
+  }
+
+  if (prof.has_value()) {
+    section("host profile: parallel engine, all grid points and reps");
+    std::cout << prof->text();
   }
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/clock.hpp"
+
 namespace mcb::harness {
 
 std::size_t resolve_threads(std::size_t threads, std::size_t n) {
@@ -59,7 +61,23 @@ WorkerPool::~WorkerPool() {
   for (auto& th : threads_) th.join();
 }
 
-void WorkerPool::claim_loop(std::uint32_t epoch, std::size_t n, FnRef fn) {
+void WorkerPool::set_busy_clock(obs::Clock* clock) {
+  busy_clock_ = clock;
+  lane_busy_ns_.assign(workers_, 0);
+}
+
+void WorkerPool::timed_call(const FnRef& fn, std::size_t i, std::size_t lane) {
+  if (busy_clock_ == nullptr) {
+    fn(i);
+    return;
+  }
+  const std::uint64_t t0 = busy_clock_->now_ns();
+  fn(i);
+  lane_busy_ns_[lane] += busy_clock_->now_ns() - t0;
+}
+
+void WorkerPool::claim_loop(std::uint32_t epoch, std::size_t n, FnRef fn,
+                            std::size_t lane) {
   for (;;) {
     std::uint64_t s = state_.load(std::memory_order_acquire);
     if (static_cast<std::uint32_t>(s >> 32) != epoch) return;  // stale batch
@@ -69,7 +87,7 @@ void WorkerPool::claim_loop(std::uint32_t epoch, std::size_t n, FnRef fn) {
                                       std::memory_order_acquire)) {
       continue;  // lost the claim race; retry with the fresh value
     }
-    fn(i);
+    timed_call(fn, i, lane);
     std::lock_guard<std::mutex> lk(mu_);
     if (++completed_ == job_n_) done_cv_.notify_one();
   }
@@ -95,11 +113,11 @@ void WorkerPool::worker_main(std::size_t lane) {
       // Static batch: this thread's fixed lane, exactly once. The caller
       // waits for all workers_ completions, so no resident thread can sleep
       // through a static epoch — the batch does not finish without it.
-      (*sfn)(lane);
+      timed_call(*sfn, lane, lane);
       std::lock_guard<std::mutex> lk(mu_);
       if (++completed_ == job_n_) done_cv_.notify_one();
     } else {
-      claim_loop(epoch, n, *fn);
+      claim_loop(epoch, n, *fn, lane);
     }
   }
 }
@@ -107,7 +125,7 @@ void WorkerPool::worker_main(std::size_t lane) {
 void WorkerPool::run(std::size_t n, FnRef fn) {
   if (n == 0) return;
   if (threads_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) timed_call(fn, i, 0);
     return;
   }
   std::uint32_t epoch = 0;
@@ -127,7 +145,7 @@ void WorkerPool::run(std::size_t n, FnRef fn) {
   }
   start_cv_.notify_all();
 
-  claim_loop(epoch, n, fn);  // the caller is a full lane too
+  claim_loop(epoch, n, fn, 0);  // the caller is a full lane too (lane 0)
 
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return completed_ == n; });
@@ -136,7 +154,7 @@ void WorkerPool::run(std::size_t n, FnRef fn) {
 
 void WorkerPool::run_static(FnRef fn) {
   if (threads_.empty()) {
-    fn(0);
+    timed_call(fn, 0, 0);
     return;
   }
   std::uint32_t epoch = 0;
@@ -156,7 +174,7 @@ void WorkerPool::run_static(FnRef fn) {
   }
   start_cv_.notify_all();
 
-  fn(0);  // the caller is lane 0
+  timed_call(fn, 0, 0);  // the caller is lane 0
 
   std::unique_lock<std::mutex> lk(mu_);
   if (++completed_ != job_n_) {

@@ -26,6 +26,10 @@
 #include <type_traits>
 #include <vector>
 
+namespace mcb::obs {
+class Clock;  // src/obs/clock.hpp — host wall-clock seam (profiler support)
+}  // namespace mcb::obs
+
 namespace mcb::harness {
 
 /// Non-owning, non-allocating reference to a callable taking one index —
@@ -121,6 +125,23 @@ class WorkerPool {
   /// no-throw and reentrancy contract as run().
   void run_static(FnRef fn);
 
+  /// Opt-in per-lane busy accounting for the host profiler (obs::Profiler):
+  /// with a clock attached, every lane brackets the work it executes inside
+  /// a batch with clock reads and accumulates the delta into its own
+  /// lane_busy_ns() slot. nullptr (the default) detaches and costs one
+  /// predicted branch per executed call. Attach/detach only between
+  /// dispatches (same reentrancy contract as run()); attaching resets the
+  /// counters to zero.
+  void set_busy_clock(obs::Clock* clock);
+
+  /// Cumulative per-lane busy nanoseconds (size workers(); all zero without
+  /// a clock). Each slot is written only by the thread owning that lane and
+  /// published by the dispatch barrier — read it between dispatches only;
+  /// callers snapshot before a batch and diff after it.
+  const std::vector<std::uint64_t>& lane_busy_ns() const {
+    return lane_busy_ns_;
+  }
+
  private:
   // state_ packs (epoch << 32) | next-unclaimed-index. Claiming is a CAS
   // that increments the low half only while the high half still names the
@@ -131,7 +152,11 @@ class WorkerPool {
   }
 
   void worker_main(std::size_t lane);
-  void claim_loop(std::uint32_t epoch, std::size_t n, FnRef fn);
+  void claim_loop(std::uint32_t epoch, std::size_t n, FnRef fn,
+                  std::size_t lane);
+  // Runs fn(i), attributing its wall time to `lane` when a busy clock is
+  // attached (one predicted branch otherwise).
+  void timed_call(const FnRef& fn, std::size_t i, std::size_t lane);
 
   std::size_t workers_;
   std::vector<std::thread> threads_;
@@ -147,6 +172,12 @@ class WorkerPool {
   bool stop_ = false;                 // guarded by mu_
 
   std::atomic<std::uint64_t> state_{0};
+
+  // Profiler support: lane l's slot is written only by the thread owning
+  // lane l (the claim/static loops pass their lane down), so no slot is
+  // ever contended; the dispatch barrier publishes the values.
+  obs::Clock* busy_clock_ = nullptr;
+  std::vector<std::uint64_t> lane_busy_ns_;
 };
 
 }  // namespace mcb::harness

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <bit>
-#include <chrono>
 #include <limits>
 #include <thread>
 #include <utility>
 
 #include "harness/thread_pool.hpp"
+#include "obs/clock.hpp"
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace mcb {
@@ -319,6 +320,16 @@ RunStats Network::run() {
     // mcblint: parallel-region end
   }
 
+  // Attach the profiler (opt-in host flight recorder). The pool's per-lane
+  // busy clock must be set before begin_run snapshots the counters, and
+  // before the first dispatch — the attach is only legal between batches.
+  if (cfg_.profiler != nullptr) {
+    if (pool_ != nullptr) pool_->set_busy_clock(&cfg_.profiler->clock());
+    cfg_.profiler->begin_run(pool_ != nullptr ? pool_->workers() : 1,
+                             pool_ != nullptr ? &pool_->lane_busy_ns()
+                                              : nullptr);
+  }
+
   // Route coroutine frame allocations (Task subroutine frames created by
   // protocol code from here on) through this network's arena. The scope
   // nests, so a hosted Network run inside a program restores the outer
@@ -331,8 +342,12 @@ RunStats Network::run() {
   }
 
   // Wall-clock telemetry (stats_.sim_wall_ns), never a protocol input —
-  // the sim clock is the cycle counter. lint-allow: nondeterminism
-  const auto wall_start = std::chrono::steady_clock::now();
+  // the sim clock is the cycle counter. Read through the obs::Clock seam so
+  // the engine directory stays free of direct *_clock::now() calls and
+  // tests can pin host-time telemetry with a fake clock.
+  obs::Clock& clk =
+      cfg_.clock != nullptr ? *cfg_.clock : obs::default_clock();
+  const std::uint64_t wall_start = clk.now_ns();
 
   // Initial resume: run every program up to its first cycle boundary.
   alive_ = cfg_.p;
@@ -361,16 +376,13 @@ RunStats Network::run() {
       break;
   }
 
+  if (cfg_.profiler != nullptr) cfg_.profiler->end_run();
   pool_ = nullptr;
   finish_phase();
   stats_.cycles = now_;
   stats_.peak_aux_words = tab_.peak_aux_words;
 
-  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                           // lint-allow: nondeterminism (host telemetry)
-                           std::chrono::steady_clock::now() - wall_start)
-                           .count();
-  stats_.sim_wall_ns = static_cast<std::uint64_t>(wall_ns);
+  stats_.sim_wall_ns = clk.now_ns() - wall_start;
   stats_.cycles_per_sec =
       safe_cycles_per_sec(stats_.cycles, stats_.sim_wall_ns);
 
@@ -615,12 +627,12 @@ void Network::build_segments(const std::vector<ProcId>& ids) {
 /// Pool dispatch is static: each lane walks the contiguous block of
 /// segments its stripes map to (stripe_lane_ is monotone, so a prefix sum
 /// over per-lane segment counts yields each lane's [lo, hi) block).
-void Network::dispatch_segments(std::size_t total_items,
+bool Network::dispatch_segments(std::size_t total_items,
                                 const harness::FnRef& fn) {
   const std::size_t n = segments_.size();
   if (pool_ == nullptr || n <= 1 || total_items < kParallelBatchMin) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
+    return false;
   }
   const std::size_t lanes = pool_->workers();
   lane_seg_.assign(lanes + 1, 0);
@@ -633,6 +645,7 @@ void Network::dispatch_segments(std::size_t total_items,
     for (std::size_t si = lane_seg_[w]; si < lane_seg_[w + 1]; ++si) fn(si);
   });
   // mcblint: parallel-region end
+  return true;
 }
 
 /// Serial commit of the writes staged during the previous resume pass,
@@ -712,7 +725,10 @@ void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial,
     tl_stripe_ = nullptr;
   };
   // mcblint: parallel-region end
-  dispatch_segments(ids.size(), task);
+  obs::Profiler* const prof = cfg_.profiler;
+  if (prof != nullptr) prof->barrier_begin();
+  const bool pooled = dispatch_segments(ids.size(), task);
+  if (prof != nullptr) prof->barrier_end(initial ? "init" : "resume", pooled);
 
   for (const Scheduler::Span& seg : segments_) {
     Stripe& s = *stripes_[seg.stripe];
@@ -731,6 +747,7 @@ void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial,
     s.resumes = 0;
     s.completions = 0;
   }
+  if (prof != nullptr) prof->merge_end();
   if (pending_error_ != nullptr) {
     std::exception_ptr e = pending_error_;
     pending_error_ = nullptr;
@@ -740,6 +757,7 @@ void Network::parallel_resume(const std::vector<ProcId>& ids, bool initial,
 
 void Network::run_parallel_loop() {
   const bool traced = sink_ != nullptr;
+  obs::Profiler* const prof = cfg_.profiler;
   while (alive_ > 0) {
     MCB_REQUIRE(!sched_.queue_empty(),
                 "live processors but an empty wake queue");
@@ -754,7 +772,13 @@ void Network::run_parallel_loop() {
 
     // Step 1 (serial, O(writes <= k)): commit the writes of the cycle in
     // flight, staged when their processors suspended.
-    commit_staged_writes();
+    if (prof != nullptr) {
+      const std::uint64_t t0 = prof->clock().now_ns();
+      commit_staged_writes();
+      prof->record_commit(prof->clock().now_ns() - t0);
+    } else {
+      commit_staged_writes();
+    }
 
     // Step 2, traced runs only: a dedicated parallel read pass over the
     // active list plus the serial trace emission — sinks are not
@@ -765,16 +789,20 @@ void Network::run_parallel_loop() {
       const auto& active = sched_.active();
       if (!active.empty()) {
         build_segments(active);
+        if (prof != nullptr) prof->barrier_begin();
         // mcblint: parallel-region begin
-        dispatch_segments(active.size(), [this](std::size_t si) {
-          const Scheduler::Span seg = segments_[si];
-          const auto& ids = *segment_ids_;
-          for (std::uint32_t j = seg.lo; j < seg.hi; ++j) {
-            apply_read(ids[j]);
-          }
-        });
+        const bool pooled =
+            dispatch_segments(active.size(), [this](std::size_t si) {
+              const Scheduler::Span seg = segments_[si];
+              const auto& ids = *segment_ids_;
+              for (std::uint32_t j = seg.lo; j < seg.hi; ++j) {
+                apply_read(ids[j]);
+              }
+            });
         // mcblint: parallel-region end
+        if (prof != nullptr) prof->barrier_end("read", pooled);
         for (ProcId id : active) emit_event(id);
+        if (prof != nullptr) prof->merge_end();
       }
       sched_.clear_active();
     }
@@ -791,6 +819,7 @@ void Network::run_parallel_loop() {
       slot_written_[c].store(0, std::memory_order_relaxed);
     }
     sched_.clear_dirty();
+    if (prof != nullptr) prof->cycle_end();
   }
 }
 

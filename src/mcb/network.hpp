@@ -144,9 +144,12 @@ class Network {
   void emit_event(ProcId i);  // requires sink_ != nullptr
   void clear_intents(ProcId i);
 
-  // Parallel-engine internals (network.cpp).
+  // Parallel-engine internals (network.cpp). dispatch_segments returns
+  // whether the pass fanned out to the pool (false = it ran inline on the
+  // coordinator) — the profiler attributes barrier time differently per
+  // mode, and the choice is otherwise invisible by design.
   void build_segments(const std::vector<ProcId>& ids);
-  void dispatch_segments(std::size_t n, const harness::FnRef& fn);
+  bool dispatch_segments(std::size_t n, const harness::FnRef& fn);
   void commit_staged_writes();
   void parallel_resume(const std::vector<ProcId>& ids, bool initial,
                        bool apply_reads);

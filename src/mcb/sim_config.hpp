@@ -9,6 +9,11 @@ namespace mcb {
 
 class SpanSink;
 
+namespace obs {
+class Clock;     // src/obs/clock.hpp — host wall-clock seam
+class Profiler;  // src/obs/profiler.hpp — host-time flight recorder
+}  // namespace obs
+
 /// Which simulation engine drives Network::run(). All implement the exact
 /// same synchronous-cycle semantics and produce bit-identical statistics
 /// (cycles, messages, phases — see docs/ENGINE.md); they differ only in
@@ -64,6 +69,23 @@ struct SimConfig {
   /// algo::sort / select construct internally. Must outlive the run.
   /// nullptr (the default) costs one branch per span mark.
   SpanSink* span_sink = nullptr;
+
+  /// Host wall-clock source for run telemetry (RunStats::sim_wall_ns) and
+  /// the profiler's instrumentation stamps. nullptr (the default) means the
+  /// process steady clock (obs::default_clock()); tests inject a fake clock
+  /// to make host-time telemetry deterministic. Never a protocol input —
+  /// model time is the cycle counter (mcblint MCB-L2 holds the engine
+  /// directories to that).
+  obs::Clock* clock = nullptr;
+
+  /// Opt-in host-time flight recorder (obs::Profiler): per cycle-batch
+  /// commit / barrier dispatch / wait / merge wall time and per-lane busy
+  /// time under Engine::kParallel; run-wall accounting under every engine.
+  /// Host telemetry like sim_wall_ns — its output is quarantined in
+  /// `host_profile` subtrees and excluded from the determinism contract.
+  /// Must outlive the run. nullptr (the default) costs one predicted branch
+  /// per instrumentation site, matching the SpanSink pattern.
+  obs::Profiler* profiler = nullptr;
 
   void validate() const {
     MCB_REQUIRE(p >= 1, "need at least one processor");

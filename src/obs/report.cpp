@@ -204,6 +204,83 @@ void theory_section(std::ostringstream& os, const util::JsonValue& doc,
   fenced(os, t.str());
 }
 
+void quantile_line(std::ostringstream& os, const util::JsonValue& h,
+                   const std::string& label) {
+  os << "- " << label << ": n=" << uint_of(num_or(h, "count", 0.0))
+     << ", p50=" << num_or(h, "p50", 0.0) << ", p95=" << num_or(h, "p95", 0.0)
+     << ", p99=" << num_or(h, "p99", 0.0) << ", max="
+     << num_or(h, "max", 0.0) << "\n";
+}
+
+/// Renders the quarantined `host_profile` subtree (present only on runs
+/// captured with --profile): commit + per-barrier dispatch/wait/merge
+/// breakdown, lane busy totals and the imbalance ratio. Handles both the
+/// run-document shape (the profiler object directly) and the serve-document
+/// shape (a serving-window envelope wrapping a "profiler" member).
+void host_profile_section(std::ostringstream& os,
+                          const util::JsonValue& doc) {
+  const auto* hp = doc.find("host_profile");
+  if (hp == nullptr || !hp->is_object()) return;
+  const auto* prof = hp->find("profiler");
+  const bool serve_shape = prof != nullptr && prof->is_object();
+  if (!serve_shape) prof = hp;
+
+  os << "\n## Host profile\n\n"
+     << "Host wall-clock telemetry — quarantined from the determinism "
+        "contract (`mcbsim strip-host` removes it).\n\n";
+  if (serve_shape) {
+    os << "- batch runs: " << uint_of(num_or(*hp, "batch_runs", 0.0)) << "\n";
+    if (const auto* bw = hp->find("batch_run_wall_ns");
+        bw != nullptr && bw->is_object()) {
+      quantile_line(os, *bw, "batch run wall ns");
+    }
+  }
+  const double wall_ns = num_or(*prof, "run_wall_ns", 0.0);
+  const double commit_ns = num_or(*prof, "commit_ns", 0.0);
+  os << "- runs: " << uint_of(num_or(*prof, "runs", 0.0))
+     << ", lanes: " << uint_of(num_or(*prof, "lanes", 0.0))
+     << ", cycles: " << uint_of(num_or(*prof, "cycles", 0.0))
+     << ", wall: " << wall_ns / 1e6 << " ms\n";
+  os << "- serial commit: " << uint_of(num_or(*prof, "commits", 0.0))
+     << " commit(s), " << commit_ns / 1e6 << " ms";
+  if (wall_ns > 0.0) {
+    os << " (" << 100.0 * commit_ns / wall_ns << "% of wall)";
+  }
+  os << "\n";
+  os << "- lane imbalance (max/mean busy): "
+     << num_or(*prof, "imbalance_ratio", 0.0) << "\n";
+
+  const auto* sites = prof->find("sites");
+  if (sites != nullptr && sites->is_array() && sites->size() > 0) {
+    os << "\n";
+    util::Table t;
+    t.header({"barrier", "count", "pooled", "dispatch ms", "busy ms",
+              "wait ms", "merge ms"});
+    for (const auto& s : sites->items()) {
+      t.row({util::Table::txt(str_or(s, "name", "?")),
+             util::Table::num(uint_of(num_or(s, "barriers", 0.0))),
+             util::Table::num(uint_of(num_or(s, "pooled", 0.0))),
+             util::Table::num(num_or(s, "dispatch_ns", 0.0) / 1e6, 3),
+             util::Table::num(num_or(s, "busy_ns", 0.0) / 1e6, 3),
+             util::Table::num(num_or(s, "wait_ns", 0.0) / 1e6, 3),
+             util::Table::num(num_or(s, "merge_ns", 0.0) / 1e6, 3)});
+    }
+    fenced(os, t.str());
+  }
+  if (const auto* h = prof->find("barrier_wait_ns");
+      h != nullptr && h->is_object()) {
+    quantile_line(os, *h, "barrier wait ns");
+  }
+  if (const auto* h = prof->find("batch_wall_ns");
+      h != nullptr && h->is_object()) {
+    quantile_line(os, *h,
+                  "batch wall ns (" +
+                      std::to_string(uint_of(
+                          num_or(*prof, "batch_cycles", 0.0))) +
+                      "-cycle windows)");
+  }
+}
+
 std::string run_report(const util::JsonValue& doc) {
   const auto& stats = doc.at("stats");
   const bool selection = doc.find("filter_phases") != nullptr;
@@ -235,6 +312,7 @@ std::string run_report(const util::JsonValue& doc) {
   spans_section(os, doc);
   timeline_section(os, doc, num_or(stats, "cycles", 0.0));
   theory_section(os, doc, stats, selection);
+  host_profile_section(os, doc);
   return os.str();
 }
 
@@ -329,6 +407,98 @@ std::string sweep_report(const util::JsonValue& doc) {
   return os.str();
 }
 
+std::string serve_report(const util::JsonValue& doc) {
+  std::ostringstream os;
+  os << "# mcbsim serving report\n\n";
+  if (const auto* config = doc.find("config");
+      config != nullptr && config->is_object()) {
+    os << "- network: MCB(p=" << uint_of(num_or(*config, "p", 0.0))
+       << ", k=" << uint_of(num_or(*config, "k", 0.0))
+       << "), resident n=" << uint_of(num_or(*config, "n", 0.0))
+       << ", seed=" << uint_of(num_or(*config, "seed", 1.0)) << "\n";
+    os << "- stream: " << uint_of(num_or(*config, "queries", 0.0))
+       << " queries, batch<=" << uint_of(num_or(*config, "batch", 0.0))
+       << "\n";
+  }
+  os << "- batches (selection runs): "
+     << uint_of(num_or(doc, "batches", 0.0)) << "\n";
+  os << "- total simulated cycles: "
+     << uint_of(num_or(doc, "total_cycles", 0.0)) << "\n";
+  os << "- total messages: "
+     << uint_of(num_or(doc, "total_messages", 0.0)) << "\n";
+  os << "- churn ops: " << uint_of(num_or(doc, "churn_ops", 0.0))
+     << ", filtering phases: "
+     << uint_of(num_or(doc, "filter_phases", 0.0)) << "\n";
+  os << "- cycles/query: " << num_or(doc, "cycles_per_query", 0.0)
+     << ", queries/kcycle: " << num_or(doc, "queries_per_kcycle", 0.0)
+     << "\n";
+
+  if (const auto* classes = doc.find("classes");
+      classes != nullptr && classes->is_array() && classes->size() > 0) {
+    os << "\n## Per-class latency\n\n";
+    util::Table t;
+    t.header({"class", "ops", "answered", "p50", "p95", "p99",
+              "max cycles"});
+    for (const auto& cl : classes->items()) {
+      const auto* h = cl.find("latency_cycles");
+      const bool has = h != nullptr && h->is_object();
+      t.row({util::Table::txt(str_or(cl, "name", "?")),
+             util::Table::num(uint_of(num_or(cl, "ops", 0.0))),
+             has ? util::Table::num(uint_of(num_or(*h, "count", 0.0)))
+                 : util::Table::num(0),
+             has ? util::Table::num(num_or(*h, "p50", 0.0), 0)
+                 : util::Table::txt("n/a"),
+             has ? util::Table::num(num_or(*h, "p95", 0.0), 0)
+                 : util::Table::txt("n/a"),
+             has ? util::Table::num(num_or(*h, "p99", 0.0), 0)
+                 : util::Table::txt("n/a"),
+             has ? util::Table::num(uint_of(num_or(*h, "max", 0.0)))
+                 : util::Table::txt("n/a")});
+    }
+    fenced(os, t.str());
+  }
+
+  // Batch summary: regroup the answered query stream by the flush that
+  // answered it (churn ops carry no "batch" member and are skipped).
+  if (const auto* queries = doc.find("queries");
+      queries != nullptr && queries->is_array()) {
+    std::vector<std::uint64_t> ids, counts, latencies;
+    for (const auto& q : queries->items()) {
+      const auto* b = q.find("batch");
+      if (b == nullptr || b->kind() != util::JsonValue::Kind::kNumber) {
+        continue;
+      }
+      const auto id = uint_of(b->as_number());
+      std::size_t idx = ids.size();
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] == id) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == ids.size()) {
+        ids.push_back(id);
+        counts.push_back(0);
+        latencies.push_back(uint_of(num_or(q, "latency_cycles", 0.0)));
+      }
+      ++counts[idx];
+    }
+    if (!ids.empty()) {
+      os << "\n## Batch summary\n\n";
+      util::Table t;
+      t.header({"batch", "queries", "run cycles"});
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        t.row({util::Table::num(ids[i]), util::Table::num(counts[i]),
+               util::Table::num(latencies[i])});
+      }
+      fenced(os, t.str());
+    }
+  }
+
+  host_profile_section(os, doc);
+  return os.str();
+}
+
 }  // namespace
 
 std::string spark(const std::vector<double>& values) {
@@ -355,13 +525,17 @@ std::string report_markdown(const util::JsonValue& doc) {
   if (doc.find("trials") != nullptr && doc.find("aggregates") != nullptr) {
     return sweep_report(doc);
   }
+  if (doc.find("batches") != nullptr && doc.find("churn_ops") != nullptr) {
+    return serve_report(doc);
+  }
   if (doc.find("stats") != nullptr) {
     return run_report(doc);
   }
   throw std::invalid_argument(
       "unrecognized document: expected mcbsim sort/select --json output "
-      "(a \"stats\" object) or sweep --json output (\"trials\" + "
-      "\"aggregates\")");
+      "(a \"stats\" object), sweep --json output (\"trials\" + "
+      "\"aggregates\"), or serve --json output (\"batches\" + "
+      "\"churn_ops\")");
 }
 
 }  // namespace mcb::obs

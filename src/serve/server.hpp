@@ -34,6 +34,10 @@
 #include "obs/metrics.hpp"
 #include "serve/query.hpp"
 
+namespace mcb {
+class TraceSink;  // mcb/trace.hpp
+}  // namespace mcb
+
 namespace mcb::serve {
 
 struct ServeConfig {
@@ -46,6 +50,11 @@ struct ServeConfig {
   /// Cross-check every answer against Dataset::nth_largest (host-side
   /// ground truth). O(n) per query — for tests, not throughput runs.
   bool verify = false;
+  /// Trace sink handed to the persistent Network (nullptr = untraced) —
+  /// lets `mcbsim serve --trace-out` capture the whole session's event
+  /// stream. Host-side observation only; the deterministic report is
+  /// unchanged by it. Must outlive run_server.
+  TraceSink* sink = nullptr;
 };
 
 /// One answered query, in stream order.
@@ -75,10 +84,23 @@ struct ServeReport {
   /// "serve.cycles_per_query" and "serve.queries_per_kcycle" gauges.
   obs::Metrics metrics;
 
+  /// Host-time telemetry, populated only when ServeConfig::sim.profiler is
+  /// attached; all empty otherwise. batch_wall_ns is the per-flush host
+  /// wall time (RunStats::sim_wall_ns of each batch run) in flush order —
+  /// the serving loop's rolling latency window. The json/text pair is the
+  /// rendered `host_profile` subtree; like every host_profile, it is
+  /// excluded from the byte-identical determinism contract.
+  std::vector<std::uint64_t> batch_wall_ns;
+  std::string host_profile_json;
+  std::string host_profile_text;
+
   /// Deterministic JSON document (model-level fields only — byte-identical
-  /// across engines/threads for one seed).
+  /// across engines/threads for one seed), plus, when profiling was on, a
+  /// trailing `host_profile` member that `mcbsim strip-host` removes before
+  /// any byte comparison.
   std::string json() const;
-  /// Deterministic Markdown report (same determinism contract).
+  /// Deterministic Markdown report (same determinism contract; a trailing
+  /// "Host profile" section appears only when profiling was on).
   std::string markdown() const;
 };
 

@@ -312,4 +312,85 @@ JsonValue json_parse(std::string_view text) {
   return JsonParser(text).parse_document();
 }
 
+namespace {
+
+/// Doubles holding exact integers (counters, ids, nanosecond totals) print
+/// as integers — json_double's 12-significant-digit rounding would corrupt
+/// large counts like a nanosecond wall total.
+void serialize_number(std::ostream& os, double v) {
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) <= kExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    os << buf;
+    return;
+  }
+  os << json_double(v);
+}
+
+bool dropped(const std::vector<std::string>* drop, const std::string& key) {
+  if (drop == nullptr) return false;
+  for (const std::string& d : *drop) {
+    if (d == key) return true;
+  }
+  return false;
+}
+
+void serialize_value(std::ostream& os, const JsonValue& v,
+                     const std::vector<std::string>* drop) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      break;
+    case JsonValue::Kind::kBool:
+      os << (v.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      serialize_number(os, v.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      os << '"' << json_escape(v.as_string()) << '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) os << ',';
+        first = false;
+        serialize_value(os, item, drop);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (dropped(drop, key)) continue;
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(key) << "\":";
+        serialize_value(os, member, drop);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_serialize(const JsonValue& v) {
+  std::ostringstream os;
+  serialize_value(os, v, nullptr);
+  return os.str();
+}
+
+std::string json_serialize_without(const JsonValue& v,
+                                   const std::vector<std::string>& drop) {
+  std::ostringstream os;
+  serialize_value(os, v, &drop);
+  return os.str();
+}
+
 }  // namespace mcb::util

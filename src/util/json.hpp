@@ -74,4 +74,18 @@ class JsonValue {
 /// or trailing garbage).
 JsonValue json_parse(std::string_view text);
 
+/// Serializes a parsed document back to compact canonical text: no
+/// whitespace, object members in insertion order, integral numbers (within
+/// the double-exact range) rendered without a fraction and everything else
+/// through json_double. Two documents whose parses are equal serialize to
+/// identical bytes, which is what `mcbsim strip-host` needs to make
+/// profiled and unprofiled runs byte-comparable after removing host fields.
+std::string json_serialize(const JsonValue& v);
+
+/// json_serialize with a key filter: object members whose key appears in
+/// `drop` are removed, recursively, at every nesting depth. This is the
+/// engine behind `mcbsim strip-host`.
+std::string json_serialize_without(const JsonValue& v,
+                                   const std::vector<std::string>& drop);
+
 }  // namespace mcb::util

@@ -395,6 +395,75 @@ TEST(McbsimObsTest, SweepObsDeterministicAcrossThreadsAndReportable) {
   EXPECT_NE(rep.find("## Spans (all trials)"), std::string::npos);
 }
 
+// --- host profiler quarantine (--profile / strip-host) -----------------------
+
+TEST(McbsimProfileTest, StripHostMakesProfiledSelectByteIdentical) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const std::string base =
+      " select --p 8 --k 2 --n 256 --engine parallel --threads 2 --json";
+  const auto plain_path = temp_path("cli_prof_plain.json");
+  const auto prof_path = temp_path("cli_prof_on.json");
+  std::ofstream(plain_path) << run_command(std::string(mcbsim_bin()) + base);
+  std::ofstream(prof_path)
+      << run_command(std::string(mcbsim_bin()) + base + " --profile");
+  // The profiled document parses strictly and carries the quarantined
+  // subtree; stripping host fields from both makes them byte-identical.
+  const auto doc = json_parse(read_file(prof_path));
+  ASSERT_NE(doc.find("host_profile"), nullptr);
+  EXPECT_GT(doc.at("host_profile").at("commits").as_number(), 0.0);
+  const auto stripped_plain = run_command(std::string(mcbsim_bin()) +
+                                          " strip-host " + plain_path);
+  const auto stripped_prof =
+      run_command(std::string(mcbsim_bin()) + " strip-host " + prof_path);
+  EXPECT_EQ(stripped_plain, stripped_prof);
+  EXPECT_EQ(stripped_prof.find("host_profile"), std::string::npos);
+}
+
+TEST(McbsimProfileTest, ServeProfileQuarantineAndReport) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const std::string base =
+      " serve --p 8 --k 2 --n 256 --queries 24 --batch 4 --seed 5"
+      " --engine parallel --threads 2 --json";
+  const auto plain_path = temp_path("cli_serve_plain.json");
+  const auto prof_path = temp_path("cli_serve_prof.json");
+  std::ofstream(plain_path) << run_command(std::string(mcbsim_bin()) + base);
+  std::ofstream(prof_path)
+      << run_command(std::string(mcbsim_bin()) + base + " --profile");
+  const auto doc = json_parse(read_file(prof_path));
+  ASSERT_NE(doc.find("host_profile"), nullptr);
+  // One profiler spans every batch run of the serving session.
+  EXPECT_EQ(doc.at("host_profile").at("batch_runs").as_number(),
+            doc.at("batches").as_number());
+  const auto stripped_plain = run_command(std::string(mcbsim_bin()) +
+                                          " strip-host " + plain_path);
+  const auto stripped_prof =
+      run_command(std::string(mcbsim_bin()) + " strip-host " + prof_path);
+  EXPECT_EQ(stripped_plain, stripped_prof);
+  // The report renderer accepts serve documents and, when profiled, adds
+  // the host-profile section after the model-level tables.
+  const auto rep =
+      run_command(std::string(mcbsim_bin()) + " report " + prof_path);
+  EXPECT_NE(rep.find("# mcbsim serving report"), std::string::npos);
+  EXPECT_NE(rep.find("## Per-class latency"), std::string::npos);
+  EXPECT_NE(rep.find("## Batch summary"), std::string::npos);
+  EXPECT_NE(rep.find("## Host profile"), std::string::npos);
+}
+
+TEST(McbsimProfileTest, ProfiledTraceOutIsStrictWithHostTrack) {
+  if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
+  const auto trace_path = temp_path("cli_prof_trace.json");
+  run_command(std::string(mcbsim_bin()) +
+              " sort --p 8 --k 2 --n 128 --engine parallel --threads 2"
+              " --profile --trace-out " + trace_path);
+  const auto trace = json_parse(read_file(trace_path));  // strict parser
+  std::size_t host_events = 0;
+  for (const auto& ev : trace.at("traceEvents").items()) {
+    const auto* pid = ev.find("pid");
+    if (pid != nullptr && pid->as_number() == 3.0) ++host_events;
+  }
+  EXPECT_GT(host_events, 1u);
+}
+
 TEST(McbsimObsTest, SweepWithoutObsStaysSpanFree) {
   if (mcbsim_bin() == nullptr) GTEST_SKIP() << "MCBSIM_BIN not set";
   const auto out = run_command(

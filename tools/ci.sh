@@ -39,6 +39,22 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 WARNINGS=0
 
+# Host-capability banner: the thread-scaling bench gates arm only on >= 4
+# hardware threads, and the p=2^20 big row only inside its wall-clock
+# budget — say up front which discipline this machine is held to, so a log
+# reader can interpret UNENFORCED rows without guessing at the hardware.
+HW_THREADS="$(nproc)"
+echo "=== host capability ==="
+echo "hardware threads: $HW_THREADS"
+if [ "$HW_THREADS" -ge 4 ]; then
+  echo "bench gate policy: thread-scaling gates ENFORCED; an unenforced" \
+       "gate fails CI unless it is the budget-gated big_row_p2_20 coverage" \
+       "stub (which warns)"
+else
+  echo "bench gate policy: thread-scaling gates NOT enforceable here" \
+       "(< 4 hardware threads); unenforced gates surface as WARNINGs"
+fi
+
 run_preset() {
   local preset="$1"
   local builddir="$2"
@@ -113,6 +129,31 @@ run_preset() {
   cmp "$builddir/serve_event.json" "$builddir/serve_reference.json"
   cmp "$builddir/serve_event.json" "$builddir/serve_par_t1.json"
   cmp "$builddir/serve_event.json" "$builddir/serve_par_t4.json"
+  # Profiler quarantine contract, made executable: a --profile run may add
+  # host-time telemetry but must not perturb one model-level byte. strip-host
+  # strict-parses each document (malformed profiler JSON fails here) and
+  # re-serializes it without the quarantined host fields; profiled and
+  # unprofiled runs must then cmp equal. The report renderer must also
+  # accept a profiled document (it renders the Host profile section).
+  echo "=== [$preset] profiled smoke (host_profile quarantine) ==="
+  "$builddir/tools/mcbsim" sort --p 16 --k 4 --n 1024 --engine parallel \
+    --threads 4 --profile --json > "$builddir/prof_sort.json"
+  "$builddir/tools/mcbsim" sort --p 16 --k 4 --n 1024 --engine parallel \
+    --threads 4 --json > "$builddir/plain_sort.json"
+  "$builddir/tools/mcbsim" strip-host "$builddir/prof_sort.json" \
+    > "$builddir/prof_sort.stripped.json"
+  "$builddir/tools/mcbsim" strip-host "$builddir/plain_sort.json" \
+    > "$builddir/plain_sort.stripped.json"
+  cmp "$builddir/prof_sort.stripped.json" "$builddir/plain_sort.stripped.json"
+  "$builddir/tools/mcbsim" serve --p 16 --k 4 --n 1024 --queries 48 \
+    --batch 8 --seed 7 --engine parallel --threads 4 --profile --json \
+    > "$builddir/prof_serve.json"
+  "$builddir/tools/mcbsim" strip-host "$builddir/prof_serve.json" \
+    > "$builddir/prof_serve.stripped.json"
+  "$builddir/tools/mcbsim" strip-host "$builddir/serve_par_t4.json" \
+    > "$builddir/plain_serve.stripped.json"
+  cmp "$builddir/prof_serve.stripped.json" "$builddir/plain_serve.stripped.json"
+  "$builddir/tools/mcbsim" report "$builddir/prof_serve.json" > /dev/null
   run_mcblint_leg "$preset" "$builddir"
 }
 
@@ -141,7 +182,9 @@ run_mcblint_leg() {
 # expressible (the arena is on, and the two thread-scaling gates only need
 # 4 lanes), so exit 3 there means a gate that should have been armed was
 # not — a regression in the bench, not a machine limitation — and fails CI.
-# Narrower machines keep the loud WARNING.
+# Narrower machines keep the loud WARNING. Sole exception: the
+# big_row_p2_20 coverage stub is budget-gated by wall clock, not thread
+# count, so a skip stays a WARNING on any machine.
 check_gates() {
   local json="$1"
   if [ ! -f "$json" ]; then
@@ -150,15 +193,26 @@ check_gates() {
     return 0
   fi
   local rc=0
-  ./build-release/tools/mcbsim gates "$json" || rc=$?
+  ./build-release/tools/mcbsim gates "$json" | tee "$json.gates.txt" || rc=$?
   case "$rc" in
     0) ;;
     3)
       if [ "$(nproc)" -ge 4 ]; then
-        echo "FAIL: $json contains UNENFORCED bench gate(s) on a" \
-             ">= 4-thread machine — every gate is expressible here, so an" \
-             "unenforced gate is a bench regression (see the rows above)" >&2
-        exit 1
+        # One unenforced row is legitimate even on a wide machine: the
+        # budget-gated p=2^20 coverage stub (a slow box skips the big row
+        # however many threads it has). Anything else unenforced here is a
+        # bench regression.
+        if grep '^UNENFORCED' "$json.gates.txt" \
+            | grep -qv 'big_row_p2_20'; then
+          echo "FAIL: $json contains UNENFORCED bench gate(s) on a" \
+               ">= 4-thread machine — every gate is expressible here, so an" \
+               "unenforced gate is a bench regression (see the rows above)" >&2
+          exit 1
+        fi
+        echo "WARNING: $json skipped the budget-gated p=2^20 big row on" \
+             "this machine (set MCB_SIMSPEED_FORCE_BIG=1 to run it)" >&2
+        WARNINGS=$((WARNINGS + 1))
+        return 0
       fi
       echo "WARNING: $json contains UNENFORCED bench gate(s) — this machine" \
            "did not validate them (see the gate rows above)" >&2

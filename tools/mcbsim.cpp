@@ -43,6 +43,7 @@
 #include "mcb/mcb.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "obs/timeline.hpp"
@@ -162,20 +163,22 @@ ObsOptions parse_obs(const util::Cli& cli) {
 }
 
 /// Post-run telemetry steps: derive idle time, write the Perfetto trace if
-/// requested, and reconcile spans against PhaseStats. Returns the
-/// reconciliation problems (empty = reconciled); callers exit 1 on any.
+/// requested (with the profiler's host-time pid when one ran), and
+/// reconcile spans against PhaseStats. Returns the reconciliation problems
+/// (empty = reconciled); callers exit 1 on any.
 std::vector<std::string> finish_obs(const ObsOptions& opts,
                                     const SimConfig& cfg,
                                     const RunStats& stats,
                                     const obs::Recorder& recorder,
-                                    obs::Timeline& timeline) {
+                                    obs::Timeline& timeline,
+                                    const obs::Profiler* profiler) {
   timeline.finalize(stats.cycles);
   if (!opts.trace_out.empty()) {
     std::ofstream out(opts.trace_out);
     if (!out) {
       throw std::invalid_argument("cannot write trace to " + opts.trace_out);
     }
-    out << obs::chrome_trace_json(stats, cfg, &recorder, &timeline);
+    out << obs::chrome_trace_json(stats, cfg, &recorder, &timeline, profiler);
   }
   return recorder.reconcile(stats);
 }
@@ -290,6 +293,7 @@ int cmd_sort(const util::Cli& cli) {
   const bool json = cli.get_bool("json");
   const bool do_check = cli.get_bool("check");
   const auto obs_opts = parse_obs(cli);
+  const bool profile = cli.get_bool("profile");
 
   auto w = util::make_workload(n, p, shape, seed);
   SimConfig cfg{.p = p, .k = k};
@@ -299,6 +303,11 @@ int cmd_sort(const util::Cli& cli) {
   if (obs_opts.on) {
     timeline.emplace(k, obs_opts.buckets);
     cfg.span_sink = &recorder;
+  }
+  std::optional<obs::Profiler> profiler;
+  if (profile) {
+    profiler.emplace();
+    cfg.profiler = &*profiler;
   }
   TraceSink* tail = obs_opts.on ? &*timeline : nullptr;
   std::optional<check::ConformanceChecker> checker;
@@ -311,8 +320,8 @@ int cmd_sort(const util::Cli& cli) {
   if (do_check) checker->finish(res.run.stats);
   std::vector<std::string> obs_problems;
   if (obs_opts.on) {
-    obs_problems =
-        finish_obs(obs_opts, cfg, res.run.stats, recorder, *timeline);
+    obs_problems = finish_obs(obs_opts, cfg, res.run.stats, recorder,
+                              *timeline, profile ? &*profiler : nullptr);
   }
   if (json) {
     std::cout << "{\"algorithm\":\""
@@ -326,6 +335,7 @@ int cmd_sort(const util::Cli& cli) {
       print_obs_json(std::cout, res.run.stats, recorder, *timeline);
     }
     if (do_check) std::cout << ",\"conformance\":" << checker->report().json();
+    if (profile) std::cout << ",\"host_profile\":" << profiler->json();
     std::cout << "}\n";
   } else {
     std::cout << "sorted n=" << n << " over MCB(" << p << "," << k
@@ -334,6 +344,7 @@ int cmd_sort(const util::Cli& cli) {
     print_thread_note(cfg, res.run.stats, std::cout);
     if (obs_opts.on) print_obs_text(std::cout, res.run.stats, recorder, *timeline);
     if (do_check) std::cout << checker->report().summary();
+    if (profile) std::cout << profiler->text();
   }
   const int obs_rc = report_obs_problems(obs_problems);
   return do_check && !checker->report().ok() ? 1 : obs_rc;
@@ -351,6 +362,7 @@ int cmd_select(const util::Cli& cli) {
   const bool shout_echo = cli.get_bool("shout-echo");
   const bool do_check = cli.get_bool("check");
   const auto obs_opts = parse_obs(cli);
+  const bool profile = cli.get_bool("profile");
 
   auto w = util::make_workload(n, p, shape, seed);
   if (shout_echo) {
@@ -378,6 +390,11 @@ int cmd_select(const util::Cli& cli) {
     timeline.emplace(k, obs_opts.buckets);
     cfg.span_sink = &recorder;
   }
+  std::optional<obs::Profiler> profiler;
+  if (profile) {
+    profiler.emplace();
+    cfg.profiler = &*profiler;
+  }
   TraceSink* tail = obs_opts.on ? &*timeline : nullptr;
   std::optional<check::ConformanceChecker> checker;
   if (do_check) {
@@ -390,7 +407,8 @@ int cmd_select(const util::Cli& cli) {
   if (do_check) checker->finish(res.stats);
   std::vector<std::string> obs_problems;
   if (obs_opts.on) {
-    obs_problems = finish_obs(obs_opts, cfg, res.stats, recorder, *timeline);
+    obs_problems = finish_obs(obs_opts, cfg, res.stats, recorder, *timeline,
+                              profile ? &*profiler : nullptr);
   }
   if (json) {
     std::cout << "{\"algorithm\":\"selection\",\"value\":" << res.value
@@ -404,6 +422,7 @@ int cmd_select(const util::Cli& cli) {
       print_obs_json(std::cout, res.stats, recorder, *timeline);
     }
     if (do_check) std::cout << ",\"conformance\":" << checker->report().json();
+    if (profile) std::cout << ",\"host_profile\":" << profiler->json();
     std::cout << "}\n";
   } else {
     std::cout << "N[" << d << "] = " << res.value << "  ("
@@ -412,6 +431,7 @@ int cmd_select(const util::Cli& cli) {
     print_thread_note(cfg, res.stats, std::cout);
     if (obs_opts.on) print_obs_text(std::cout, res.stats, recorder, *timeline);
     if (do_check) std::cout << checker->report().summary();
+    if (profile) std::cout << profiler->text();
   }
   const int obs_rc = report_obs_problems(obs_problems);
   return do_check && !checker->report().ok() ? 1 : obs_rc;
@@ -421,7 +441,10 @@ int cmd_select(const util::Cli& cli) {
 // query stream with batched multi-rank selection (src/serve). The report —
 // JSON with --json, Markdown otherwise — carries only model-level fields,
 // so it is byte-identical across engines and thread counts for one seed;
-// tools/ci.sh cmp's it across --threads under TSan.
+// tools/ci.sh cmp's it across --threads under TSan. The exceptions are
+// opt-in host telemetry: --profile adds the quarantined "host_profile"
+// member, and --obs/--trace-out attach the span/timeline collectors to the
+// whole session (the obs fields themselves stay deterministic).
 int cmd_serve(const util::Cli& cli) {
   serve::ServeConfig sc;
   sc.sim.p = cli.get_uint("p", 16);
@@ -433,12 +456,57 @@ int cmd_serve(const util::Cli& cli) {
   sc.classes = serve::parse_classes(
       cli.get_string("classes", "rank:4,topk:2,churn:1"));
   sc.verify = cli.get_bool("verify");
+  const auto obs_opts = parse_obs(cli);
+  const bool profile = cli.get_bool("profile");
+  obs::Recorder recorder;
+  std::optional<obs::Timeline> timeline;
+  if (obs_opts.on) {
+    timeline.emplace(sc.sim.k, obs_opts.buckets);
+    sc.sim.span_sink = &recorder;
+    sc.sink = &*timeline;
+  }
+  std::optional<obs::Profiler> profiler;
+  if (profile) {
+    profiler.emplace();
+    sc.sim.profiler = &*profiler;
+  }
   apply_engine_flags(cli, sc.sim);
   const auto rep = serve::run_server(sc);
+
+  // Session-aggregate identity for the obs exporters: the serving loop is
+  // many short runs on one network, so the recorder/timeline carry the
+  // union of all batch runs (cycle timestamps overlay per batch — the
+  // timeline is an across-batches aggregate, not one run's lane chart).
+  // Span reconciliation is skipped: it checks a single run's PhaseStats.
+  RunStats agg;
+  agg.cycles = rep.total_cycles;
+  agg.messages = rep.total_messages;
+  if (obs_opts.on) {
+    timeline->finalize(rep.total_cycles);
+    if (!obs_opts.trace_out.empty()) {
+      std::ofstream out(obs_opts.trace_out);
+      if (!out) {
+        throw std::invalid_argument("cannot write trace to " +
+                                    obs_opts.trace_out);
+      }
+      out << obs::chrome_trace_json(agg, sc.sim, &recorder, &*timeline,
+                                    profile ? &*profiler : nullptr);
+    }
+  }
   if (cli.get_bool("json")) {
-    std::cout << rep.json() << '\n';
+    std::string doc = rep.json();
+    if (obs_opts.on) {
+      // Splice the "obs" member in before the document's closing brace —
+      // rep.json() owns the (deterministic) rest of the document.
+      std::ostringstream os;
+      os << ',';
+      print_obs_json(os, agg, recorder, *timeline);
+      doc.insert(doc.size() - 1, os.str());
+    }
+    std::cout << doc << '\n';
   } else {
     std::cout << rep.markdown();
+    if (obs_opts.on) print_obs_text(std::cout, agg, recorder, *timeline);
   }
   return 0;
 }
@@ -478,6 +546,7 @@ int cmd_trace(const util::Cli& cli) {
   const auto seed = cli.get_uint("seed", 3);
   const bool do_check = cli.get_bool("check");
   const auto obs_opts = parse_obs(cli);
+  const bool profile = cli.get_bool("profile");
   ChannelTrace trace(cli.get_uint("limit", 256));
   auto w = util::make_workload(n, p, util::Shape::kEven, seed);
   SimConfig cfg{.p = p, .k = p};
@@ -487,6 +556,11 @@ int cmd_trace(const util::Cli& cli) {
   if (obs_opts.on) {
     timeline.emplace(p, obs_opts.buckets);
     cfg.span_sink = &recorder;
+  }
+  std::optional<obs::Profiler> profiler;
+  if (profile) {
+    profiler.emplace();
+    cfg.profiler = &*profiler;
   }
   // Observers chain: with --check the checker tees the unmodified event
   // stream into the tee, which fans it out to the channel trace and (with
@@ -504,8 +578,8 @@ int cmd_trace(const util::Cli& cli) {
   if (do_check) checker->finish(res.run.stats);
   std::vector<std::string> obs_problems;
   if (obs_opts.on) {
-    obs_problems =
-        finish_obs(obs_opts, cfg, res.run.stats, recorder, *timeline);
+    obs_problems = finish_obs(obs_opts, cfg, res.run.stats, recorder,
+                              *timeline, profile ? &*profiler : nullptr);
   }
   std::cout << "columnsort on MCB(" << p << "," << p << "), n=" << n << ": "
             << res.run.stats.cycles << " cycles\n"
@@ -514,6 +588,7 @@ int cmd_trace(const util::Cli& cli) {
     print_obs_text(std::cout, res.run.stats, recorder, *timeline);
   }
   if (do_check) std::cout << checker->report().summary();
+  if (profile) std::cout << profiler->text();
   const int obs_rc = report_obs_problems(obs_problems);
   return do_check && !checker->report().ok() ? 1 : obs_rc;
 }
@@ -607,6 +682,32 @@ int cmd_gates(const std::string& path) {
   }
   if (any_failed) return 1;
   return any_unenforced ? 3 : 0;
+}
+
+// Strict-parses a JSON document and re-serializes it canonically with every
+// host-telemetry field removed, at any nesting depth: the quarantined
+// "host_profile" subtrees plus the per-run host fields of "stats"
+// (wall clock, throughput, thread identity, arena counters). What survives
+// is exactly the deterministic model-level content, so CI can `cmp` a
+// profiled run against an unprofiled one — the determinism contract the
+// profiler must not break, made executable.
+int cmd_strip_host(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << '\n';
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  static const std::vector<std::string> kHostFields = {
+      "host_profile",     "sim_wall_ns",       "cycles_per_sec",
+      "threads_requested", "threads_effective", "frame_allocs",
+      "frame_frees",      "frame_reuses",      "arena_bytes_peak",
+      "arena_hit_rate"};
+  std::cout << util::json_serialize_without(util::json_parse(buf.str()),
+                                            kHostFields)
+            << '\n';
+  return 0;
 }
 
 int cmd_bounds(const util::Cli& cli) {
@@ -704,21 +805,23 @@ int cmd_sweep(const util::Cli& cli) {
 int usage() {
   std::cerr <<
       "usage: mcbsim <sort|select|serve|psum|trace|bounds|sweep|gates|"
-      "report> [--flags]\n"
+      "report|strip-host> [--flags]\n"
       "  sort    --p --k --n [--shape] [--seed] [--algorithm] [--engine]"
       " [--threads] [--check] [--json]\n"
-      "          [--obs] [--trace-out f.json] [--obs-buckets N]\n"
+      "          [--obs] [--trace-out f.json] [--obs-buckets N] [--profile]\n"
       "  select  --p --k --n [--rank] [--shape] [--seed] [--shout-echo]"
       " [--engine] [--threads] [--check]\n"
-      "          [--json] [--obs] [--trace-out f.json] [--obs-buckets N]\n"
+      "          [--json] [--obs] [--trace-out f.json] [--obs-buckets N]"
+      " [--profile]\n"
       "  serve   --p --k --n [--seed] --queries N"
       " [--classes rank:4,topk:2,churn:1]\n"
       "          [--batch B] [--engine] [--threads] [--verify] [--json]\n"
+      "          [--obs] [--trace-out f.json] [--obs-buckets N] [--profile]\n"
       "          one persistent network answers a seeded query stream;\n"
       "          output is byte-identical across engines/threads per seed\n"
       "  psum    --p --k [--op add|max|min]\n"
       "  trace   --p [--n] [--seed] [--limit] [--engine] [--threads]"
-      " [--check] [--obs] [--trace-out f.json]\n"
+      " [--check] [--obs] [--trace-out f.json] [--profile]\n"
       "  bounds  --p --k --n [--shape] [--d]\n"
       "  sweep   --p 8,16 --k 2,4 --n 1024,4096 [--shapes even,zipf]\n"
       "          [--algorithms auto,select] [--seeds S] [--seed B]\n"
@@ -726,8 +829,11 @@ int usage() {
       " [--obs] [--json]\n"
       "  gates   <bench.json>   exit 0 = all gates enforced+passed,\n"
       "          1 = enforced gate failed, 3 = unenforced gates present\n"
-      "  report  <run.json|sweep.json>   render a deterministic Markdown\n"
-      "          report (phases, spans, channel sparklines, theory ratios)\n"
+      "  report  <run.json|sweep.json|serve.json>   render a deterministic\n"
+      "          Markdown report (phases, spans, sparklines, theory ratios)\n"
+      "  strip-host <any.json>  re-serialize canonically with host-telemetry\n"
+      "          fields (host_profile, sim_wall_ns, ...) removed, for\n"
+      "          byte-comparing profiled against unprofiled runs\n"
       "--engine picks the simulator loop (event|reference|parallel; all are\n"
       "observably identical). For sort/select/trace, --threads N sets the\n"
       "parallel engine's worker count (0 = hardware) and requires --engine\n"
@@ -735,7 +841,10 @@ int usage() {
       "--check attaches the model-conformance checker (src/check): exit 1\n"
       "and a violation report on any model-rule breach.\n"
       "--obs collects phase spans and a per-channel timeline; --trace-out\n"
-      "writes a Chrome trace-event / Perfetto JSON trace (implies --obs).\n";
+      "writes a Chrome trace-event / Perfetto JSON trace (implies --obs).\n"
+      "--profile attaches the host-time engine profiler: per cycle-batch\n"
+      "commit/dispatch/wait/merge wall time, lane busy time and imbalance\n"
+      "ratio, quarantined under \"host_profile\" (strip-host removes it).\n";
   return 2;
 }
 
@@ -752,6 +861,10 @@ int main(int argc, char** argv) {
     if (argc >= 2 && std::string(argv[1]) == "report") {
       if (argc != 3) return usage();
       return cmd_report(argv[2]);
+    }
+    if (argc >= 2 && std::string(argv[1]) == "strip-host") {
+      if (argc != 3) return usage();
+      return cmd_strip_host(argv[2]);
     }
     const auto cli = util::Cli::parse(argc, argv);
     int rc;

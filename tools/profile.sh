@@ -9,6 +9,12 @@
 # n=262144, the point the bench gates measure), so a profile and the gate
 # numbers describe the same run.
 #
+# The recorded run also carries the in-process flight recorder (mcbsim
+# select --profile), so next to perf's symbol table — which says *where*
+# host time went — the script prints the engine's own accounting of *what*
+# the time bought: serial commit vs dispatch vs barrier wait vs merge,
+# per barrier site, with the lane-imbalance ratio.
+#
 # Usage:
 #   tools/profile.sh                 # record the default row, print top 10
 #   tools/profile.sh --p 4096 --n 16384   # any mcbsim select flag rides along
@@ -23,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 TOP_N=10
 OUT_DIR=build-perf
-ROW=(--p 65536 --k 4 --n 262144 --engine parallel --threads 0)
+ROW=(--p 65536 --k 4 --n 262144 --engine parallel --threads 0 --profile)
 
 list_mode=0
 extra=()
@@ -36,7 +42,7 @@ done
 # Extra flags override the default row wholesale: mixing "--p 4096" into
 # the default geometry would profile a workload nobody asked for.
 if [ "${#extra[@]}" -gt 0 ]; then
-  ROW=("${extra[@]}" --engine parallel --threads 0)
+  ROW=("${extra[@]}" --engine parallel --threads 0 --profile)
 fi
 
 CMD=("$OUT_DIR/tools/mcbsim" select "${ROW[@]}")
@@ -59,7 +65,12 @@ cmake --preset perf
 cmake --build --preset perf -j "$(nproc)" --target mcbsim
 
 echo "=== perf record: ${CMD[*]} ==="
-perf record -g -o "$OUT_DIR/perf.data" -- "${CMD[@]}" > /dev/null
+perf record -g -o "$OUT_DIR/perf.data" -- "${CMD[@]}" > "$OUT_DIR/profile_run.txt"
+
+echo "=== engine flight recorder (same run) ==="
+# --profile makes mcbsim print the recorder's breakdown after the run
+# summary; everything from its "host profile:" top line onward is ours.
+sed -n '/^host profile:/,$p' "$OUT_DIR/profile_run.txt"
 
 echo "=== top $TOP_N hot symbols ==="
 # --percent-limit 0 keeps tiny symbols out of the cut; the sed strips
